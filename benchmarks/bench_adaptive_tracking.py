@@ -1,0 +1,84 @@
+"""EXT-ADAPT — online protection adaptation under nonstationary load.
+
+The paper's deployment story has links estimating their primary demand from
+passing call set-ups.  This bench makes the demand *move* (a mid-run surge
+from 0.8x to 1.3x nominal on the NSFNet model) and compares:
+
+* single-path routing (the floor the guarantee references);
+* static controlled routing sized for the *pre-surge* load (a stale
+  estimate);
+* adaptive controlled routing re-estimating every 5 time units.
+
+State protection's robustness predicts the stale policy remains safe; the
+adaptive one should match or beat it while never undercutting single-path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.routing.adaptive import simulate_adaptive
+from repro.routing.alternate import ControlledAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import build_path_table
+from repro.traffic.calibration import nsfnet_nominal_traffic
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.profiles import LoadProfile, generate_nonstationary_trace
+
+
+def run(config):
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    nominal = nsfnet_nominal_traffic()
+    profile = LoadProfile.step(at=30.0, before=0.8, after=1.3)
+    pre_surge_loads = primary_link_loads(network, table, nominal) * 0.8
+    static = ControlledAlternateRouting(network, table, pre_surge_loads)
+    single = SinglePathRouting(network, table)
+
+    duration = config.warmup + max(60.0, config.measured_duration)
+    results = {"single-path": [], "static(stale)": [], "adaptive": []}
+    final_levels = None
+    for seed in config.seeds:
+        trace = generate_nonstationary_trace(nominal, profile, duration, seed)
+        results["single-path"].append(
+            simulate(network, single, trace, config.warmup).network_blocking
+        )
+        results["static(stale)"].append(
+            simulate(network, static, trace, config.warmup).network_blocking
+        )
+        adaptive_result, updates = simulate_adaptive(
+            network,
+            table,
+            trace,
+            warmup=config.warmup,
+            update_interval=5.0,
+            initial_loads=pre_surge_loads,
+        )
+        results["adaptive"].append(adaptive_result.network_blocking)
+        final_levels = updates[-1].protection_levels
+    means = {name: float(np.mean(vals)) for name, vals in results.items()}
+    return means, static.protection_levels, final_levels
+
+
+def test_adaptive_protection_tracks_surge(benchmark, bench_config):
+    means, stale_levels, adapted_levels = benchmark.pedantic(
+        run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print()
+    print("Load surge 0.8x -> 1.3x nominal at t=30, NSFNet (regenerated):")
+    print(format_table(["policy", "blocking"], [[k, v] for k, v in means.items()]))
+    print(
+        f"protection levels: stale sum {int(stale_levels.sum())}, "
+        f"adapted sum {int(adapted_levels.sum())}"
+    )
+
+    # The guarantee holds for both controlled variants.
+    assert means["static(stale)"] <= means["single-path"] + 0.01
+    assert means["adaptive"] <= means["single-path"] + 0.01
+    # Adaptation is at least as good as running on the stale estimate.
+    assert means["adaptive"] <= means["static(stale)"] + 0.01
+    # And it genuinely hardened the levels after the surge.
+    assert adapted_levels.sum() > stale_levels.sum()

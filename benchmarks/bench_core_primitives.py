@@ -1,0 +1,56 @@
+"""Microbenchmarks of the performance-critical primitives.
+
+Not a paper artifact — these keep the library honest about the costs that
+gate experiment wall-clock time: the Erlang recursion, protection-level
+search, path-table construction, trace generation, and raw simulator
+throughput (calls routed per second).
+"""
+
+from __future__ import annotations
+
+from repro.core.erlang import erlang_b
+from repro.core.protection import min_protection_level
+from repro.routing.alternate import ControlledAlternateRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import build_path_table
+from repro.traffic.calibration import nsfnet_nominal_traffic
+from repro.traffic.demand import primary_link_loads
+
+
+def test_erlang_b_speed(benchmark):
+    result = benchmark(erlang_b, 80.0, 100)
+    assert 0.0 < result < 1.0
+
+
+def test_protection_level_speed(benchmark):
+    result = benchmark(min_protection_level, 81.0, 100, 6)
+    assert result == 11
+
+
+def test_path_table_construction_speed(benchmark):
+    network = nsfnet_backbone()
+    table = benchmark(build_path_table, network)
+    assert len(table.primary) == 132
+
+
+def test_trace_generation_speed(benchmark):
+    traffic = nsfnet_nominal_traffic()
+    trace = benchmark(generate_trace, traffic, 110.0, 0)
+    assert trace.num_calls > 50_000
+
+
+def test_simulator_throughput(benchmark):
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    traffic = nsfnet_nominal_traffic()
+    loads = primary_link_loads(network, table, traffic)
+    policy = ControlledAlternateRouting(network, table, loads)
+    trace = generate_trace(traffic, 60.0, 0)
+
+    result = benchmark(simulate, network, policy, trace, 10.0)
+    calls_per_second = trace.num_calls / benchmark.stats.stats.mean
+    benchmark.extra_info["calls_per_second"] = calls_per_second
+    assert result.total_offered > 0
+    assert calls_per_second > 50_000  # sanity floor for the hot loop

@@ -1,0 +1,36 @@
+"""FIG2 — Figure 2: protection level ``r`` vs primary load ``Lambda``.
+
+Paper: ``C = 100``, curves for ``H = 2, 6, 120`` over ``Lambda <= C``; ``r``
+grows with load and with ``H`` but the growth with ``H`` is *contained*.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure2_protection_levels
+from repro.experiments.report import format_table
+
+
+def test_fig2_protection_level_curves(benchmark):
+    curves = benchmark(figure2_protection_levels)
+
+    loads = curves[2][0]
+    rows = [
+        [int(load)] + [int(curves[h][1][i]) for h in (2, 6, 120)]
+        for i, load in enumerate(loads)
+        if load % 10 == 0
+    ]
+    print()
+    print("Figure 2 (regenerated): r vs Lambda, C = 100")
+    print(format_table(["Lambda", "r(H=2)", "r(H=6)", "r(H=120)"], rows))
+
+    r2, r6, r120 = (curves[h][1] for h in (2, 6, 120))
+    # Shape: monotone in load and in H.
+    assert (r2[1:] >= r2[:-1]).all()
+    assert (r6 >= r2).all()
+    assert (r120 >= r6).all()
+    # Containment: at half load even H=120 needs only a handful of circuits.
+    assert r120[49] <= 15
+    # Spot values pinned by the paper's Table 1 (C=100 column overlaps).
+    assert r6[73] == 7      # Lambda = 74
+    assert r6[86] == 16     # Lambda = 87
+    assert r120[99] >= 45   # near capacity the curves climb steeply

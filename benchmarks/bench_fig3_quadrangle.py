@@ -1,0 +1,46 @@
+"""FIG3 — Figure 3: blocking vs offered load, fully-connected quadrangle.
+
+Paper's shape: uncontrolled alternate routing performs well up to ~85
+Erlangs per pair then degrades badly; single-path routing is poor below ~90
+Erlangs and then stays low; the controlled scheme sticks with the better of
+the two and beats both in the 85-95 Erlang window, never doing worse than
+single-path.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import quadrangle_sweep
+from repro.experiments.report import format_sweep
+
+
+def test_fig3_quadrangle_blocking_sweep(benchmark, bench_config):
+    loads = (70.0, 80.0, 85.0, 90.0, 95.0, 100.0, 110.0)
+    points = benchmark.pedantic(
+        quadrangle_sweep,
+        kwargs={"loads": loads, "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep(points, "Figure 3 (regenerated): quadrangle blocking vs per-pair Erlangs"))
+
+    by_load = {p.load: p.blocking for p in points}
+    # Low load: uncontrolled (and controlled) beat single-path.
+    assert by_load[80.0]["uncontrolled"].mean < by_load[80.0]["single-path"].mean
+    assert by_load[80.0]["controlled"].mean < by_load[80.0]["single-path"].mean
+    # Overload: uncontrolled collapses past single-path; controlled does not.
+    assert by_load[100.0]["uncontrolled"].mean > by_load[100.0]["single-path"].mean
+    assert by_load[110.0]["uncontrolled"].mean > by_load[110.0]["single-path"].mean
+    # Controlled never (statistically) worse than single-path anywhere.
+    for point in points:
+        assert point.blocking["controlled"].mean <= point.blocking["single-path"].mean + 0.01
+    # Crossover window: controlled at least matches both competitors.
+    for load in (85.0, 90.0, 95.0):
+        ctl = by_load[load]["controlled"].mean
+        assert ctl <= by_load[load]["single-path"].mean + 0.005
+        assert ctl <= by_load[load]["uncontrolled"].mean + 0.005
+    # Everything respects the Erlang lower bound (loose, so allow slack).
+    for point in points:
+        assert point.erlang_bound is not None
+        for stat in point.blocking.values():
+            assert stat.mean >= point.erlang_bound - 0.02

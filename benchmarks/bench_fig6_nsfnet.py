@@ -1,0 +1,40 @@
+"""FIG6 — Figure 6: NSFNet blocking vs load, unlimited alternates (H = 11).
+
+Paper's shape around the nominal load (=10): single-path poor at moderate
+loads but approaching the Erlang bound beyond; uncontrolled excellent below
+nominal but worse than single-path above it; controlled improves on both at
+moderate loads and never does worse than single-path.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import nsfnet_sweep
+from repro.experiments.report import format_sweep
+
+
+def test_fig6_nsfnet_blocking_sweep(benchmark, bench_config):
+    load_values = (8.0, 9.0, 10.0, 11.0, 12.0, 14.0)
+    points = benchmark.pedantic(
+        nsfnet_sweep,
+        kwargs={"load_values": load_values, "config": bench_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_sweep(points, "Figure 6 (regenerated): NSFNet, H=11, blocking vs load (nominal=10)"))
+
+    by_load = {p.load: p.blocking for p in points}
+    # Below nominal, alternate routing beats single-path.
+    assert by_load[8.0]["uncontrolled"].mean < by_load[8.0]["single-path"].mean
+    assert by_load[9.0]["controlled"].mean < by_load[9.0]["single-path"].mean
+    # Above nominal, uncontrolled crosses over and does worse than
+    # single-path (the crossover sits near load 12; assert it firmly at 14).
+    assert by_load[12.0]["uncontrolled"].mean > by_load[12.0]["single-path"].mean - 0.01
+    assert by_load[14.0]["uncontrolled"].mean > by_load[14.0]["single-path"].mean
+    # Controlled never (statistically) worse than single-path.
+    for point in points:
+        assert point.blocking["controlled"].mean <= point.blocking["single-path"].mean + 0.01
+    # Blocking grows with load for every scheme.
+    for scheme in ("single-path", "controlled"):
+        series = [by_load[l][scheme].mean for l in load_values]
+        assert series[-1] > series[0]

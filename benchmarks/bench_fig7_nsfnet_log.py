@@ -1,0 +1,49 @@
+"""FIG7 — Figure 7: the NSFNet sweep on a log scale (low-load emphasis).
+
+Below the nominal load the uncontrolled and controlled schemes run orders of
+magnitude below single-path routing and close to the Erlang bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.figures import nsfnet_sweep
+from repro.experiments.report import format_table
+
+
+def _log10(value: float) -> float:
+    return math.log10(value) if value > 0 else float("-inf")
+
+
+def test_fig7_nsfnet_low_load_log(benchmark, bench_config):
+    config = bench_config.scaled(duration_factor=2.0)
+    load_values = (6.0, 8.0, 9.0, 10.0)
+    points = benchmark.pedantic(
+        nsfnet_sweep,
+        kwargs={"load_values": load_values, "config": config},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            point.load,
+            _log10(point.blocking["single-path"].mean),
+            _log10(point.blocking["uncontrolled"].mean),
+            _log10(point.blocking["controlled"].mean),
+            _log10(point.erlang_bound or 0.0),
+        ]
+        for point in points
+    ]
+    print()
+    print("Figure 7 (regenerated): log10 blocking, NSFNet H=11")
+    print(format_table(["load", "log10 single", "log10 unctl", "log10 ctl", "log10 bound"], rows))
+
+    by_load = {p.load: p.blocking for p in points}
+    for load in (8.0, 9.0):
+        single = by_load[load]["single-path"].mean
+        assert single > 0.0
+        assert by_load[load]["uncontrolled"].mean < single
+        assert by_load[load]["controlled"].mean < single
+    # At the lowest load the alternate schemes all but eliminate blocking.
+    assert by_load[6.0]["controlled"].mean < 0.005

@@ -1,0 +1,51 @@
+"""EXP-ROBUST — concluding-remarks claim: insensitivity to traffic estimates.
+
+The network is engineered (primaries, protection levels) for the nominal
+NSFNet forecast, but actual demand is the forecast perturbed by mean-one
+lognormal noise per O-D pair.  The paper's claim: alternate routing makes
+blocking less sensitive to such misforecasts.  Measured: as the forecast
+error grows, single-path blocking degrades roughly twice as fast as the
+controlled scheme's, and under misforecast the controlled scheme even beats
+uncontrolled routing (its nominal-sized reservations still tame the
+avalanche on the overloaded corridors).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.robustness import forecast_error_sweep
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import build_path_table
+from repro.traffic.calibration import nsfnet_nominal_traffic
+
+SIGMAS = (0.0, 0.3, 0.6, 1.0)
+
+
+def run(config):
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    return forecast_error_sweep(
+        network, table, nsfnet_nominal_traffic(), sigmas=SIGMAS, config=config
+    )
+
+
+def test_alternate_routing_absorbs_forecast_error(benchmark, bench_config):
+    outcome = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    rows = [
+        [sigma, stats["single-path"].mean, stats["uncontrolled"].mean,
+         stats["controlled"].mean]
+        for sigma, stats in outcome.items()
+    ]
+    print()
+    print("Forecast-error sweep, NSFNet engineered for nominal (regenerated):")
+    print(format_table(["sigma", "single-path", "uncontrolled", "controlled"], rows))
+
+    base = outcome[0.0]
+    worst = outcome[max(SIGMAS)]
+    single_degradation = worst["single-path"].mean - base["single-path"].mean
+    controlled_degradation = worst["controlled"].mean - base["controlled"].mean
+    # The claim: controlled degrades materially less than single-path.
+    assert controlled_degradation < single_degradation * 0.8
+    # And at every error level the guarantee holds.
+    for stats in outcome.values():
+        assert stats["controlled"].mean <= stats["single-path"].mean + 0.01

@@ -1,0 +1,38 @@
+"""EXT-GEN — the title claim: the control works on *general* meshes.
+
+The paper evaluates two topologies; this bench sweeps three structurally
+different synthetic meshes (torus, Waxman internetwork, dense random mesh)
+under skewed gravity demand and checks the topology-free claims: the
+guarantee (controlled never worse than single-path) holds on every mesh,
+and controlled routing retains the uncontrolled scheme's gains wherever
+those exist.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.generalization import general_mesh_comparison
+from repro.experiments.report import format_table
+
+
+def test_control_scheme_generalizes(benchmark, bench_config):
+    outcome = benchmark.pedantic(
+        general_mesh_comparison, args=(bench_config,), rounds=1, iterations=1
+    )
+    rows = [
+        [name, stats["single-path"].mean, stats["uncontrolled"].mean,
+         stats["controlled"].mean]
+        for name, stats in outcome.items()
+    ]
+    print()
+    print("General meshes, gravity traffic (regenerated):")
+    print(format_table(["mesh", "single-path", "uncontrolled", "controlled"], rows))
+
+    for name, stats in outcome.items():
+        # The Theorem-1 guarantee, on every topology.
+        assert stats["controlled"].mean <= stats["single-path"].mean + 0.01, name
+    # Somewhere the alternate tier wins big, and controlled keeps the bulk.
+    wins = {
+        name: stats["single-path"].mean - stats["controlled"].mean
+        for name, stats in outcome.items()
+    }
+    assert max(wins.values()) > 0.02

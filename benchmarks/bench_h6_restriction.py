@@ -1,0 +1,79 @@
+"""EXP-H6 — Section 4.2.2: limiting alternate paths to H = 6 hops.
+
+The paper reports that halving the hop limit (11 -> 6) barely shrinks the
+pool of useful alternates on the sparse NSFNet, lowers the required
+protection levels, and yields a small *improvement* for controlled alternate
+routing with little change for the other schemes.
+
+Reproduction note: with the hop limit read as an absolute path length, the
+Table-1 topology gives an H=6 census of ~3.3 alternates per pair (max 6),
+not the paper's "about 7 / max 13" — those printed numbers match an H=9
+enumeration of the same topology instead.  The qualitative claims (good
+short alternates survive, r's shrink, controlled improves slightly) hold
+regardless; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protection import min_protection_level
+from repro.experiments.figures import nsfnet_sweep
+from repro.experiments.report import format_sweep
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import alternate_path_census, build_path_table
+from repro.traffic.calibration import nsfnet_nominal_traffic
+from repro.traffic.demand import primary_link_loads
+
+
+def test_h6_census_and_protection_levels(benchmark):
+    def build():
+        network = nsfnet_backbone()
+        return (
+            build_path_table(network, max_hops=6),
+            build_path_table(network, max_hops=11),
+            network,
+        )
+
+    table6, table11, network = benchmark(build)
+    census6 = alternate_path_census(table6)
+    census11 = alternate_path_census(table11)
+    print()
+    print(f"H=11 census: {census11}")
+    print(f"H=6  census: {census6}")
+
+    # The paper's H=11 census reproduces exactly.
+    assert census11["max"] == 15.0
+    assert census11["min"] == 5.0
+    assert 8.0 <= census11["mean"] <= 9.5
+    # H=6 keeps every pair connected to at least one alternate... except
+    # pairs whose min-hop distance is already near the limit.
+    assert census6["pairs"] == 132.0
+    assert census6["mean"] >= 3.0
+
+    # Protection levels shrink when H does, freeing alternate capacity.
+    loads = primary_link_loads(network, table11, nsfnet_nominal_traffic())
+    r6 = np.array([min_protection_level(l, 100, 6) for l in loads])
+    r11 = np.array([min_protection_level(l, 100, 11) for l in loads])
+    assert (r6 <= r11).all()
+    assert r6.sum() < r11.sum()
+
+
+def test_h6_blocking_comparison(benchmark, bench_config):
+    def run():
+        return (
+            nsfnet_sweep(load_values=(9.0, 10.0, 11.0), max_hops=6, config=bench_config),
+            nsfnet_sweep(load_values=(9.0, 10.0, 11.0), max_hops=None, config=bench_config),
+        )
+
+    points6, points11 = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_sweep(points6, "NSFNet H=6 (regenerated)"))
+    print(format_sweep(points11, "NSFNet H=11 (regenerated)"))
+
+    for p6, p11 in zip(points6, points11):
+        # Controlled with H=6 at least matches H=11 (small improvement in
+        # the paper; tolerate statistical noise).
+        assert p6.blocking["controlled"].mean <= p11.blocking["controlled"].mean + 0.01
+        # Single-path routing is identical by construction (no alternates).
+        assert p6.blocking["single-path"].values == p11.blocking["single-path"].values

@@ -1,0 +1,77 @@
+"""EXT-INSENS — robustness of the results to the holding-time distribution.
+
+The paper assumes exponential holding (assumption A2's world).  For the
+*single-path* network the Erlang insensitivity theorem says the holding
+distribution is irrelevant beyond its mean; for the state-dependent
+alternate-routing dynamics no such theorem exists.  This bench sweeps
+deterministic / exponential / bursty (hyperexponential, squared CV 4)
+holding times on the quadrangle's crossover point and shows the paper's
+qualitative conclusions are not an artifact of the exponential assumption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.routing.alternate import (
+    ControlledAlternateRouting,
+    UncontrolledAlternateRouting,
+)
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import quadrangle
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.generators import uniform_traffic
+
+DISTRIBUTIONS = ("deterministic", "exponential", "hyperexponential")
+
+
+def run(config):
+    network = quadrangle(100)
+    table = build_path_table(network)
+    traffic = uniform_traffic(4, 95.0)
+    loads = primary_link_loads(network, table, traffic)
+    policies = {
+        "single-path": SinglePathRouting(network, table),
+        "uncontrolled": UncontrolledAlternateRouting(network, table),
+        "controlled": ControlledAlternateRouting(network, table, loads),
+    }
+    outcome = {}
+    for distribution in DISTRIBUTIONS:
+        by_policy = {}
+        for name, policy in policies.items():
+            values = [
+                simulate(
+                    network,
+                    policy,
+                    generate_trace(traffic, config.duration, seed, holding=distribution),
+                    config.warmup,
+                ).network_blocking
+                for seed in config.seeds
+            ]
+            by_policy[name] = float(np.mean(values))
+        outcome[distribution] = by_policy
+    return outcome
+
+
+def test_holding_time_insensitivity(benchmark, bench_config):
+    outcome = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    rows = [
+        [dist, data["single-path"], data["uncontrolled"], data["controlled"]]
+        for dist, data in outcome.items()
+    ]
+    print()
+    print("Holding-time distributions, quadrangle 95 E (regenerated):")
+    print(format_table(["holding", "single-path", "uncontrolled", "controlled"], rows))
+
+    # Single-path blocking is theorem-grade insensitive: all three agree.
+    singles = [data["single-path"] for data in outcome.values()]
+    assert max(singles) - min(singles) < 0.02
+    # The qualitative story holds under every distribution at this load:
+    # uncontrolled collapsed, controlled at or below single-path.
+    for data in outcome.values():
+        assert data["uncontrolled"] > data["single-path"]
+        assert data["controlled"] <= data["single-path"] + 0.01

@@ -1,0 +1,35 @@
+"""EXP-FAIL — Section 4.2.2: link failures 2<->3 and 7<->9.
+
+The paper disables each duplex link in turn and observes that blocking rises
+but the relative position of the three schemes' curves is maintained.
+Implementation: :func:`repro.experiments.prose.link_failure_comparison`.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.prose import link_failure_comparison
+from repro.experiments.report import format_table
+
+
+def test_link_failures_preserve_ordering(benchmark, bench_config):
+    outcome = benchmark.pedantic(
+        link_failure_comparison, args=(bench_config,), rounds=1, iterations=1
+    )
+    rows = [
+        [name, stats["single-path"].mean, stats["uncontrolled"].mean, stats["controlled"].mean]
+        for name, stats in outcome.items()
+    ]
+    print()
+    print("Link failures at load 12 (regenerated):")
+    print(format_table(["scenario", "single-path", "uncontrolled", "controlled"], rows))
+
+    intact = outcome["intact"]
+    for name in ("fail 2<->3", "fail 7<->9"):
+        stats = outcome[name]
+        # Blocking in general is higher under failure...
+        assert stats["single-path"].mean >= intact["single-path"].mean - 0.01
+        # ...and the relative position of the curves is maintained:
+        # controlled still never worse than single-path, and uncontrolled
+        # still at or past its crossover at this above-nominal load.
+        assert stats["controlled"].mean <= stats["single-path"].mean + 0.01
+        assert stats["uncontrolled"].mean >= stats["controlled"].mean - 0.01

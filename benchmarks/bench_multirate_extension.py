@@ -1,0 +1,131 @@
+"""EXT-MR — multirate calls (the paper's stated future work).
+
+Two QoS classes — 1-unit audio and 4-unit video — share the quadrangle.
+Checks (a) the simulator against the exact Kaufman-Roberts per-class
+blocking on an isolated link, and (b) that controlled alternate routing with
+the conservative multirate protection levels preserves the
+never-worse-than-single-path guarantee for the mixed workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multirate import (
+    TrafficClass,
+    multirate_blocking,
+    multirate_protection_level,
+)
+from repro.experiments.report import format_table
+from repro.routing.alternate import ControlledAlternateRouting, UncontrolledAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_multiclass_trace
+from repro.topology.generators import line, quadrangle
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import multiclass_unit_loads
+from repro.traffic.generators import uniform_traffic
+
+
+def validate_against_kaufman_roberts(seeds):
+    network = line(2, 40)
+    table = build_path_table(network)
+    classes = [
+        ("audio", uniform_traffic(2, 16.0), 1),
+        ("video", uniform_traffic(2, 3.0), 4),
+    ]
+    policy = SinglePathRouting(network, table)
+    measured = {"audio": [], "video": []}
+    for seed in seeds:
+        trace = generate_multiclass_trace(classes, 210.0, seed)
+        result = simulate(network, policy, trace, warmup=10.0)
+        for name, value in result.class_blocking().items():
+            measured[name].append(value)
+    # Each directed link carries one direction only: 16 E audio + 3 E video.
+    exact = multirate_blocking(
+        [TrafficClass("audio", 16.0, 1), TrafficClass("video", 3.0, 4)], 40
+    )
+    return {name: float(np.mean(vals)) for name, vals in measured.items()}, exact
+
+
+def run_mixed_network(config):
+    network = quadrangle(100)
+    table = build_path_table(network)
+    classes = [
+        ("audio", uniform_traffic(4, 55.0), 1),
+        ("video", uniform_traffic(4, 8.0), 4),
+    ]
+    unit_loads = multiclass_unit_loads(network, table, classes)
+    levels = np.array(
+        [
+            multirate_protection_level(
+                unit_loads[link.index], link.capacity, table.max_hops, 4
+            )
+            for link in network.links
+        ],
+        dtype=np.int64,
+    )
+    policies = {
+        "single-path": SinglePathRouting(network, table),
+        "uncontrolled": UncontrolledAlternateRouting(network, table),
+        "controlled-mr": ControlledAlternateRouting(
+            network, table, unit_loads, protection_override=levels
+        ),
+    }
+    blocking = {name: [] for name in policies}
+    video = {name: [] for name in policies}
+    for seed in config.seeds:
+        trace = generate_multiclass_trace(classes, config.duration, seed)
+        for name, policy in policies.items():
+            result = simulate(network, policy, trace, config.warmup)
+            blocking[name].append(result.network_blocking)
+            video[name].append(result.class_blocking().get("video", 0.0))
+    return (
+        {name: float(np.mean(vals)) for name, vals in blocking.items()},
+        {name: float(np.mean(vals)) for name, vals in video.items()},
+        levels,
+    )
+
+
+def test_multirate_kaufman_roberts_validation(benchmark, bench_config):
+    measured, exact = benchmark.pedantic(
+        validate_against_kaufman_roberts,
+        args=(bench_config.seeds,),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["class", "simulated", "Kaufman-Roberts"],
+            [[name, measured[name], exact[name]] for name in ("audio", "video")],
+        )
+    )
+    for name in ("audio", "video"):
+        assert measured[name] == pytest.approx(exact[name], rel=0.35, abs=0.01)
+    # Wider calls block more, in both views.
+    assert exact["video"] > exact["audio"]
+    assert measured["video"] > measured["audio"]
+
+
+def test_multirate_guarantee_on_mixed_network(benchmark, bench_config):
+    blocking, video, levels = benchmark.pedantic(
+        run_mixed_network, args=(bench_config,), rounds=1, iterations=1
+    )
+    print()
+    print("Mixed audio(1u) + video(4u), quadrangle C=100 (regenerated):")
+    print(
+        format_table(
+            ["policy", "blocking", "video blocking"],
+            [[name, blocking[name], video[name]] for name in blocking],
+        )
+    )
+    print(f"multirate protection levels: {sorted(set(levels.tolist()))}")
+
+    # The conservative multirate levels preserve the guarantee.
+    assert blocking["controlled-mr"] <= blocking["single-path"] + 0.01
+    # Video (wide) calls suffer more than audio under every policy.
+    for name in blocking:
+        assert video[name] >= blocking[name] - 0.01
+

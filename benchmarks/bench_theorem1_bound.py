@@ -1,0 +1,51 @@
+"""THM1 — numeric verification of Theorem 1 and tightness of its bound.
+
+Sweeps random link scenarios (capacity, protection, demand, effective rate,
+non-increasing overflow profiles), computes the *exact* expected primary
+displacement by first-passage analysis, and confirms the Theorem-1 bound
+holds everywhere while reporting how loose it runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theorem import verify_theorem1
+from repro.experiments.report import format_table
+
+
+def run_verification(trials: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    checks = []
+    for __ in range(trials):
+        capacity = int(rng.integers(2, 80))
+        protection = int(rng.integers(0, capacity + 1))
+        demand = float(rng.uniform(0.05, 2.0)) * capacity
+        nu = demand * float(rng.uniform(0.3, 1.0))
+        overflow = np.sort(rng.uniform(0.0, 2.0 * capacity, size=capacity))[::-1].copy()
+        checks.append(
+            verify_theorem1(demand, capacity, protection, overflow, primary_rate=nu)
+        )
+    return checks
+
+
+def test_theorem1_bound_holds_and_tightness(benchmark):
+    checks = benchmark.pedantic(run_verification, args=(300,), rounds=1, iterations=1)
+
+    holds = sum(1 for c in checks if c.holds)
+    nontrivial = [c for c in checks if c.bound > 1e-12 and c.worst_displacement > 0]
+    ratios = [c.worst_displacement / c.bound for c in nontrivial]
+    print()
+    print(
+        format_table(
+            ["trials", "bound holds", "median L/bound", "max L/bound"],
+            [[len(checks), holds, float(np.median(ratios)), float(np.max(ratios))]],
+        )
+    )
+
+    assert holds == len(checks)
+    # The bound is genuinely a bound, not an equality: some slack everywhere.
+    assert max(ratios) <= 1.0 + 1e-9
+    # But it is not vacuous: in a fair share of scenarios the exact
+    # displacement reaches a sizable fraction of the bound.
+    assert max(ratios) > 0.3

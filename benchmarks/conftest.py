@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) and prints the regenerated rows/series, then asserts the paper's
+qualitative shape.  Fidelity is tunable through environment variables so the
+same harness serves quick CI runs and full paper-fidelity regeneration:
+
+* ``REPRO_BENCH_SEEDS``    — replications per point (default 3; paper: 10)
+* ``REPRO_BENCH_DURATION`` — measured time units per run (default 40; paper: 100)
+
+Example full-fidelity run::
+
+    REPRO_BENCH_SEEDS=10 REPRO_BENCH_DURATION=100 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ReplicationConfig
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return default if value is None else int(value)
+
+
+def _env_float(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return default if value is None else float(value)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ReplicationConfig:
+    return ReplicationConfig(
+        measured_duration=_env_float("REPRO_BENCH_DURATION", 40.0),
+        warmup=10.0,
+        seeds=tuple(range(_env_int("REPRO_BENCH_SEEDS", 3))),
+    )

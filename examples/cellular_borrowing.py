@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Channel borrowing in a cellular network, protected per Section 3.2.
+
+The paper's closing observation: its control strategy is not about links at
+all — it applies wherever a blocked request can complete on an *alternate
+resource set* at extra expense.  In cellular telephony a call arriving at a
+full cell may borrow a channel from a neighbor, locking that channel in the
+borrower's co-cells (three cells' worth of resource).  Choosing each cell's
+protection level for H = 3 makes borrowing provably safe.
+
+Run:  python examples/cellular_borrowing.py
+"""
+
+import numpy as np
+
+from repro.cellular import (
+    FREE_BORROWING,
+    NO_BORROWING,
+    PROTECTED_BORROWING,
+    HexCellGrid,
+    protection_levels_for_grid,
+    simulate_cellular,
+)
+
+CHANNELS = 50
+SEEDS = range(5)
+
+
+def mean_blocking(grid, loads, policy, duration=100.0) -> float:
+    values = [
+        simulate_cellular(grid, loads, policy, duration=duration, seed=seed).blocking
+        for seed in SEEDS
+    ]
+    return float(np.mean(values))
+
+
+def main() -> None:
+    grid = HexCellGrid(5, 5, CHANNELS)
+    print(f"5x5 hexagonal grid, {CHANNELS} channels per cell")
+    print(f"borrow resource-set size (the effective H): {grid.max_resource_set_size()}\n")
+
+    print("scenario A — evening hotspot: downtown cells run hot, suburbs idle")
+    loads = np.full(grid.num_cells, 20.0)
+    for hot in (7, 12, 17):
+        loads[hot] = 55.0
+    levels = protection_levels_for_grid(grid, loads)
+    print(f"  protection levels: suburb r = {levels[0]}, hotspot r = {levels[12]}")
+    for policy in (NO_BORROWING, FREE_BORROWING, PROTECTED_BORROWING):
+        print(f"  {policy.name:22s} blocking = {mean_blocking(grid, loads, policy):.4f}")
+
+    print("\nscenario B — uniform overload: every cell past its engineering load")
+    loads = np.full(grid.num_cells, 54.0)
+    levels = protection_levels_for_grid(grid, loads)
+    print(f"  protection levels: r = {levels[12]} (interior)")
+    for policy in (NO_BORROWING, FREE_BORROWING, PROTECTED_BORROWING):
+        print(f"  {policy.name:22s} blocking = {mean_blocking(grid, loads, policy):.4f}")
+
+    print(
+        "\nHotspots: borrowing (protected or not) rescues calls the static"
+        "\nassignment would drop.  Uniform overload: free borrowing burns"
+        "\nthree cells' channels per rescued call and loses ground, while the"
+        "\nprotected scheme falls back to plain blocking — never worse, as"
+        "\nTheorem 1 guarantees with r chosen for H = 3."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Mixed QoS classes: audio and video sharing a protected mesh.
+
+The paper's preliminary study assumes identical calls but flags multi-rate
+support as the natural extension.  This example runs two reservation classes
+— 1-unit audio and 4-unit HD video — over the NSFNet backbone, sizes each
+link's protection level with the conservative multirate rule (wide alternate
+calls are charged per bandwidth unit), and compares per-class blocking under
+the three routing schemes.
+
+Run:  python examples/multiclass_qos.py
+"""
+
+import numpy as np
+
+from repro.core.multirate import (
+    TrafficClass,
+    multirate_blocking,
+    multirate_protection_level,
+)
+from repro.routing import (
+    ControlledAlternateRouting,
+    SinglePathRouting,
+    UncontrolledAlternateRouting,
+)
+from repro.sim import generate_multiclass_trace, simulate
+from repro.topology import build_path_table, nsfnet_backbone
+from repro.traffic import multiclass_unit_loads, nsfnet_nominal_traffic
+
+VIDEO_BANDWIDTH = 4
+SEEDS = range(4)
+
+
+def main() -> None:
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+
+    # Split the calibrated nominal demand: most calls are audio, but a
+    # slice of the Erlangs converts to 4-unit video sessions.
+    nominal = nsfnet_nominal_traffic()
+    audio = nominal.scaled(0.7)
+    video = nominal.scaled(0.3 / VIDEO_BANDWIDTH)  # same unit-Erlangs, wide calls
+    classes = [("audio", audio, 1), ("video", video, VIDEO_BANDWIDTH)]
+
+    unit_loads = multiclass_unit_loads(network, table, classes)
+    levels = np.array(
+        [
+            multirate_protection_level(
+                unit_loads[link.index], link.capacity, table.max_hops, VIDEO_BANDWIDTH
+            )
+            for link in network.links
+        ],
+        dtype=np.int64,
+    )
+    print(
+        f"multirate protection levels: min {levels.min()}, max {levels.max()} "
+        f"(links with full protection: {int((levels == 100).sum())})"
+    )
+
+    # Exact single-link reference: the busiest corridor as an isolated link.
+    hottest = int(np.argmax(unit_loads))
+    hot_link = network.link(hottest)
+    print(
+        f"\nhottest link {hot_link.src}->{hot_link.dst} carries "
+        f"{unit_loads[hottest]:.0f} unit-Erlangs; isolated-link Kaufman-Roberts:"
+    )
+    reference = multirate_blocking(
+        [
+            TrafficClass("audio", 0.7 * unit_loads[hottest], 1),
+            TrafficClass("video", 0.3 * unit_loads[hottest] / VIDEO_BANDWIDTH, VIDEO_BANDWIDTH),
+        ],
+        hot_link.capacity,
+    )
+    for name, value in reference.items():
+        print(f"  {name}: {value:.4f}")
+
+    policies = {
+        "single-path": SinglePathRouting(network, table),
+        "uncontrolled": UncontrolledAlternateRouting(network, table),
+        "controlled": ControlledAlternateRouting(
+            network, table, unit_loads, protection_override=levels
+        ),
+    }
+    print("\nnetwork-wide results (4 seeds x 100 time units):")
+    print("policy        total     audio     video")
+    print("------------  --------  --------  --------")
+    for name, policy in policies.items():
+        total, by_class = [], {"audio": [], "video": []}
+        for seed in SEEDS:
+            trace = generate_multiclass_trace(classes, 110.0, seed)
+            result = simulate(network, policy, trace, warmup=10.0)
+            total.append(result.network_blocking)
+            for cls, value in result.class_blocking().items():
+                by_class[cls].append(value)
+        print(
+            f"{name:12s}  {np.mean(total):8.4f}  "
+            f"{np.mean(by_class['audio']):8.4f}  {np.mean(by_class['video']):8.4f}"
+        )
+
+    print(
+        "\nVideo calls, needing four units at once on every link, block far"
+        "\nmore often than audio — most dramatically under uncontrolled"
+        "\nalternate routing, whose long detours eat exactly the contiguous"
+        "\ncapacity video needs.  The multirate protection levels keep the"
+        "\ncontrolled scheme at or below single-path blocking for the mix."
+    )
+
+
+if __name__ == "__main__":
+    main()

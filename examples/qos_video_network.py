@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: QoS video calls on a future Internet.
+
+A regional ISP mesh carries 1 Mb/s medium-quality video calls with per-flow
+bandwidth reservation (the paper's prototype call).  The operator already
+runs a state-independent min-hop routing protocol and cannot afford to flood
+link-state updates for every reservation — exactly the setting the paper's
+two-tier scheme targets:
+
+* alternates are computed from distributed min-hop information (DALFAR);
+* each link sets its own state-protection threshold from a *measured*
+  estimate of its primary demand (no oracle knowledge);
+* admission of an alternate-routed call needs only the state of the links
+  on that path.
+
+Run:  python examples/qos_video_network.py
+"""
+
+import numpy as np
+
+from repro import (
+    ControlledAlternateRouting,
+    SinglePathRouting,
+    UncontrolledAlternateRouting,
+    generate_trace,
+    simulate,
+)
+from repro.routing.estimator import estimate_loads_from_trace
+from repro.topology import build_path_table, random_mesh
+from repro.topology.dalfar import compute_distance_vectors, dalfar_routes
+from repro.traffic import gravity_traffic
+
+RATE_BASED_CAPACITY_MBPS = 60  # per direction, after best-effort carve-out
+VIDEO_CALL_MBPS = 1
+
+
+def main() -> None:
+    # A 10-PoP regional mesh (random but deterministic) with 60 reservable
+    # video-call slots per directed link.
+    network = random_mesh(
+        10, extra_links=5, capacity=RATE_BASED_CAPACITY_MBPS // VIDEO_CALL_MBPS, seed=7
+    )
+    table = build_path_table(network)
+
+    # Distributed route computation: converged distance vectors, then
+    # alternates derived hop by hop (Section 1's DALFAR reference).
+    vectors = compute_distance_vectors(network)
+    print(
+        f"distance-vector protocol converged in {vectors.rounds} exchange rounds; "
+        f"e.g. PoP 0 -> PoP 9 routes:"
+    )
+    for path in dalfar_routes(network, 0, 9, max_hops=5, tables=vectors)[:4]:
+        print(f"  {' -> '.join(str(n) for n in path)}")
+
+    # Demand: population-weighted gravity model, peak-hour total of 420
+    # simultaneous video calls on offer.
+    populations = [9, 7, 6, 5, 5, 4, 3, 3, 2, 2]
+    traffic = gravity_traffic(populations, total=420.0)
+
+    # The operator measures primary demand from call set-ups over a
+    # half-hour window instead of assuming it.
+    observer = SinglePathRouting(network, table)
+    measurement = generate_trace(traffic, duration=40.0, seed=999)
+    measured_loads = estimate_loads_from_trace(network, observer, measurement, warmup=10.0)
+    print(f"\nmeasured primary demand: min {measured_loads.min():.1f}, "
+          f"max {measured_loads.max():.1f} Erlangs per link")
+
+    controlled = ControlledAlternateRouting(network, table, measured_loads)
+    protected_links = int(np.count_nonzero(controlled.protection_levels))
+    print(f"{protected_links}/{network.num_links} links apply a protection level > 0")
+
+    policies = {
+        "single-path (status quo)": SinglePathRouting(network, table),
+        "uncontrolled alternates": UncontrolledAlternateRouting(network, table),
+        "controlled alternates": controlled,
+    }
+    print("\npeak-hour admission performance (5 seeds, 100 time units):")
+    print("policy                     blocked calls   blocking")
+    print("-------------------------  -------------   --------")
+    for name, policy in policies.items():
+        blocked, offered = 0, 0
+        for seed in range(5):
+            trace = generate_trace(traffic, duration=110.0, seed=seed)
+            result = simulate(network, policy, trace, warmup=10.0)
+            blocked += result.total_blocked
+            offered += result.total_offered
+        print(f"{name:25s}  {blocked:13d}   {blocked / offered:8.4f}")
+
+    print(
+        "\nControlled alternate routing admits nearly every call the free-for-"
+        "\nall admits at this load while guaranteeing — by Theorem 1 — that it"
+        "\ncan never fall behind the operator's existing single-path routing,"
+        "\neven if the demand estimate drifts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The avalanche effect, on the paper's fully-connected quadrangle.
+
+Demonstrates Section 4.1's Figures 3/4: uncontrolled alternate routing is
+excellent until a critical load and then collapses — each alternate-routed
+call burns two circuits instead of one, pushing more calls off their
+primaries in a self-reinforcing spiral — while state protection (Theorem 1's
+smallest safe reservation level) keeps the benefit at low load and clamps
+the spiral at high load.
+
+Run:  python examples/quadrangle_overload.py
+"""
+
+from repro import (
+    ControlledAlternateRouting,
+    SinglePathRouting,
+    UncontrolledAlternateRouting,
+    erlang_bound,
+    generate_trace,
+    min_protection_level,
+    primary_link_loads,
+    quadrangle,
+    simulate,
+    uniform_traffic,
+)
+from repro.topology import build_path_table
+
+SEEDS = range(5)
+DURATION = 110.0
+WARMUP = 10.0
+
+
+def mean_blocking(network, policy, traffic) -> tuple[float, float]:
+    blocking, alt = [], []
+    for seed in SEEDS:
+        trace = generate_trace(traffic, DURATION, seed)
+        result = simulate(network, policy, trace, WARMUP)
+        blocking.append(result.network_blocking)
+        alt.append(result.alternate_fraction)
+    return sum(blocking) / len(blocking), sum(alt) / len(alt)
+
+
+def main() -> None:
+    network = quadrangle(capacity=100)
+    table = build_path_table(network)
+
+    print("Fully-connected 4-node network, C = 100 per directed link.")
+    print("Per-pair offered load sweeps through the paper's critical region.\n")
+    header = (
+        "load   r    single-path  uncontrolled  (alt%)   controlled  (alt%)   bound"
+    )
+    print(header)
+    print("-" * len(header))
+    for per_pair in (70.0, 80.0, 85.0, 90.0, 95.0, 100.0, 110.0):
+        traffic = uniform_traffic(4, per_pair)
+        loads = primary_link_loads(network, table, traffic)
+        r = min_protection_level(per_pair, 100, table.max_hops)
+        single, __ = mean_blocking(network, SinglePathRouting(network, table), traffic)
+        unctl, unctl_alt = mean_blocking(
+            network, UncontrolledAlternateRouting(network, table), traffic
+        )
+        ctl, ctl_alt = mean_blocking(
+            network, ControlledAlternateRouting(network, table, loads), traffic
+        )
+        bound = erlang_bound(network, traffic)
+        print(
+            f"{per_pair:5.0f}  {r:3d}  {single:11.4f}  {unctl:12.4f}  ({unctl_alt:4.1%})"
+            f"  {ctl:10.4f}  ({ctl_alt:4.1%})  {bound:7.5f}"
+        )
+
+    print(
+        "\nReading the table: below ~85 Erlangs the alternate-routing schemes"
+        "\nessentially eliminate blocking; past ~90 the uncontrolled scheme's"
+        "\nalternate share keeps climbing while its blocking overtakes even"
+        "\nsingle-path routing — the avalanche.  The controlled scheme's r"
+        "\ngrows with the load, throttling alternates exactly when they start"
+        "\nto hurt, so it tracks the better of the two everywhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Analytic companions: Erlang cut bound, fixed-point approximation, fairness."""
+
+from .alternate_fixed_point import (
+    AlternateFixedPointResult,
+    alternate_routing_fixed_point,
+)
+from .bistability import (
+    SymmetricFixedPoint,
+    bistable_loads,
+    find_fixed_points,
+    mean_field_map,
+    network_blocking,
+)
+from .erlang_bound import cut_bound_term, erlang_bound, single_node_cut_bound
+from .fairness import FairnessReport, fairness_report
+from .fixed_point import FixedPointResult, erlang_fixed_point
+
+__all__ = [
+    "AlternateFixedPointResult",
+    "alternate_routing_fixed_point",
+    "SymmetricFixedPoint",
+    "bistable_loads",
+    "find_fixed_points",
+    "mean_field_map",
+    "network_blocking",
+    "cut_bound_term",
+    "erlang_bound",
+    "single_node_cut_bound",
+    "FairnessReport",
+    "fairness_report",
+    "FixedPointResult",
+    "erlang_fixed_point",
+]

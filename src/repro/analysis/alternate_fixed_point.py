@@ -1,0 +1,172 @@
+"""Reduced-load fixed point for (controlled) alternate routing on a mesh.
+
+The classical Erlang fixed point (:mod:`repro.analysis.fixed_point`) covers
+single-path routing.  This module extends it to the paper's two-tier scheme
+on a *general* mesh, generalizing the symmetric mean-field of
+:mod:`repro.analysis.bistability`:
+
+* every link ``l`` is a birth-death chain with a state-independent primary
+  rate ``nu_l`` plus an overflow rate ``a_l`` admitted only below the
+  protection threshold ``C_l - r_l`` (the chain of the paper's Figure 1);
+* the chain yields two per-link probabilities: ``E_l`` (full — blocks a
+  primary set-up) and ``F_l`` (at/above the threshold — blocks an
+  alternate);
+* per O-D pair, the primary path blocks with ``1 - prod(1 - E)``; blocked
+  traffic attempts the alternates in order, each failing with
+  ``1 - prod(1 - F)`` (link independence throughout);
+* consistency closes the loop: ``nu_l`` is the primary demand thinned by
+  the *other* links of each primary path, and ``a_l`` sums, over every
+  alternate route through ``l``, the pair's demand times the probability
+  the attempt reaches that alternate times the acceptance probability of
+  the route's other links.
+
+Damped successive substitution converges in the paper's regimes (the
+bistable regimes of the symmetric model can make the iterate start-
+dependent — by design; see the bistability module).  Setting every ``r`` to
+0 models uncontrolled alternate routing; an empty alternate table recovers
+the classical single-path fixed point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.markov import link_chain
+from ..topology.graph import Network
+from ..topology.paths import PathTable
+from ..traffic.matrix import TrafficMatrix
+
+__all__ = ["AlternateFixedPointResult", "alternate_routing_fixed_point"]
+
+
+@dataclass(frozen=True)
+class AlternateFixedPointResult:
+    """Converged reduced-load model of the two-tier scheme.
+
+    ``full_probability`` is ``E_l`` per link; ``protected_probability`` is
+    ``F_l``; ``overflow_rates`` the converged per-link alternate arrival
+    rates; ``pair_blocking`` the end-to-end per-O-D estimate and
+    ``network_blocking`` its demand-weighted average.
+    """
+
+    full_probability: np.ndarray
+    protected_probability: np.ndarray
+    overflow_rates: np.ndarray
+    pair_blocking: dict[tuple[int, int], float]
+    network_blocking: float
+    iterations: int
+    converged: bool
+
+
+def alternate_routing_fixed_point(
+    network: Network,
+    table: PathTable,
+    traffic: TrafficMatrix,
+    protection_levels: np.ndarray,
+    damping: float = 0.3,
+    tolerance: float = 1e-8,
+    max_iterations: int = 2_000,
+) -> AlternateFixedPointResult:
+    """Iterate the two-tier reduced-load equations to a fixed point."""
+    if not 0 < damping <= 1:
+        raise ValueError("damping must lie in (0, 1]")
+    capacities = network.capacities()
+    levels = np.asarray(protection_levels, dtype=np.int64)
+    if levels.shape != (network.num_links,):
+        raise ValueError("protection_levels must be per-link")
+    if (levels < 0).any() or (levels > capacities).any():
+        raise ValueError("protection levels must lie in [0, capacity]")
+
+    demands = []
+    for od, demand in traffic.positive_pairs():
+        primary = table.primary.get(od)
+        if primary is None:
+            raise ValueError(f"O-D pair {od} has demand but no primary path")
+        primary_links = network.path_links(primary)
+        alternate_links = [
+            network.path_links(path) for path in table.alternates.get(od, ())
+        ]
+        demands.append((od, demand, primary_links, alternate_links))
+
+    num_links = network.num_links
+    full = np.zeros(num_links)       # E_l
+    protected = np.zeros(num_links)  # F_l
+    overflow = np.zeros(num_links)
+    iterations = 0
+    converged = False
+    while iterations < max_iterations:
+        iterations += 1
+        # --- demand side: thinned primary rates and overflow attempt rates.
+        nu = np.zeros(num_links)
+        attempts = np.zeros(num_links)
+        for __, demand, primary_links, alternates in demands:
+            pass_primary = 1.0
+            for link in primary_links:
+                pass_primary *= 1.0 - full[link]
+            for link in primary_links:
+                own = 1.0 - full[link]
+                nu[link] += demand * (pass_primary / own if own > 0 else 0.0)
+            reach = demand * (1.0 - pass_primary)  # traffic entering tier 2
+            for alt in alternates:
+                accept = 1.0
+                for link in alt:
+                    accept *= 1.0 - protected[link]
+                for link in alt:
+                    own = 1.0 - protected[link]
+                    attempts[link] += reach * (accept / own if own > 0 else 0.0)
+                reach *= 1.0 - accept  # next alternate sees the failures
+        # --- link side: solve each protected chain.
+        new_full = np.empty(num_links)
+        new_protected = np.empty(num_links)
+        for link in range(num_links):
+            capacity = int(capacities[link])
+            if capacity == 0:
+                new_full[link] = 1.0
+                new_protected[link] = 1.0
+                continue
+            chain = link_chain(
+                float(nu[link]),
+                capacity,
+                int(levels[link]),
+                [float(attempts[link])] * capacity,
+            )
+            pi = chain.stationary_distribution()
+            new_full[link] = float(pi[capacity])
+            new_protected[link] = float(pi[capacity - int(levels[link]) :].sum())
+        step = max(
+            np.abs(new_full - full).max(), np.abs(new_protected - protected).max()
+        )
+        full = full + damping * (new_full - full)
+        protected = protected + damping * (new_protected - protected)
+        overflow = attempts
+        if step < tolerance:
+            converged = True
+            break
+
+    pair_blocking: dict[tuple[int, int], float] = {}
+    weighted = 0.0
+    total_demand = 0.0
+    for od, demand, primary_links, alternates in demands:
+        pass_primary = 1.0
+        for link in primary_links:
+            pass_primary *= 1.0 - full[link]
+        lost = 1.0 - pass_primary
+        for alt in alternates:
+            accept = 1.0
+            for link in alt:
+                accept *= 1.0 - protected[link]
+            lost *= 1.0 - accept
+        pair_blocking[od] = lost
+        weighted += demand * lost
+        total_demand += demand
+    return AlternateFixedPointResult(
+        full_probability=full,
+        protected_probability=protected,
+        overflow_rates=overflow,
+        pair_blocking=pair_blocking,
+        network_blocking=weighted / total_demand if total_demand else 0.0,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,180 @@
+"""Bistability of alternate routing in symmetric networks (mean-field).
+
+The paper's motivation for control cites the bistability/instability results
+of Akinpelu [1], Gibbens-Hunt-Kelly [10] and Mason [25]: in a symmetric
+fully-connected network where blocked calls overflow to two-hop alternates,
+the mean-field (Erlang fixed-point) equations develop *two* stable operating
+points past a critical load — a low-blocking one and a high-blocking one in
+which most carried calls occupy two circuits.  Trunk reservation removes the
+high-blocking branch.
+
+Mean-field model (the classical one):
+
+* every link is a birth-death chain with primary rate ``load`` and an
+  overflow rate ``a`` in the unprotected states ``s < C - r``;
+* a call blocked on its direct link (probability ``E`` = stationary mass of
+  state ``C``) attempts one random two-hop alternate; the attempt lands on
+  each of its two links as a Poisson stream and succeeds iff *both* links
+  are below their protection threshold (independence approximation);
+* consistency: each alternate attempt occupies two links, and every link is
+  on equally many potential alternate paths, so the per-link attempt rate is
+  ``a = 2 * load * E * (1 - F)`` where ``F`` = stationary mass of the
+  protected states ``{C - r, ..., C}`` of the *other* link — by symmetry the
+  same chain.
+
+Iterating the map from different starting points exposes the multiple fixed
+points; :func:`find_fixed_points` scans a grid of starts and deduplicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.markov import link_chain
+
+__all__ = [
+    "SymmetricFixedPoint",
+    "mean_field_map",
+    "find_fixed_points",
+    "network_blocking",
+    "bistable_loads",
+]
+
+
+@dataclass(frozen=True)
+class SymmetricFixedPoint:
+    """One self-consistent operating point of the mean-field model.
+
+    ``direct_blocking`` is ``E`` (a primary call finds its direct link
+    full); ``protection_occupancy`` is ``F`` (a link is at or above its
+    protection threshold); ``overflow_rate`` the per-link alternate attempt
+    rate ``a``; ``blocking`` the end-to-end call blocking.
+    """
+
+    direct_blocking: float
+    protection_occupancy: float
+    overflow_rate: float
+    blocking: float
+
+
+def _chain_statistics(
+    load: float, capacity: int, reservation: int, overflow: float
+) -> tuple[float, float]:
+    """Stationary ``(E, F)`` of the protected link chain with overflow rate."""
+    chain = link_chain(load, capacity, reservation, [overflow] * capacity)
+    pi = chain.stationary_distribution()
+    direct = float(pi[capacity])
+    protected = float(pi[capacity - reservation :].sum())
+    return direct, protected
+
+
+def _expected_attempts(protected: float, max_attempts: int) -> float:
+    """Expected number of alternates tried per blocked call.
+
+    Each attempt succeeds with probability ``(1 - F)^2`` (both links of the
+    two-hop alternate below threshold, independence approximation); the call
+    keeps trying fresh random alternates until success or ``max_attempts``.
+    """
+    failure = 1.0 - (1.0 - protected) ** 2
+    if failure >= 1.0:
+        return float(max_attempts)
+    if failure == 0.0:
+        return 1.0
+    return (1.0 - failure**max_attempts) / (1.0 - failure)
+
+
+def mean_field_map(
+    load: float,
+    capacity: int,
+    reservation: int,
+    state: tuple[float, float],
+    max_attempts: int = 1,
+) -> tuple[float, float]:
+    """One iteration of the symmetric mean-field consistency map.
+
+    Given the current guess ``(E, F)``, computes the implied per-link
+    overflow attempt rate — blocked primaries times expected alternate
+    attempts, each attempt touching two links and thinned by the partner
+    link's availability — and returns the chain's new ``(E, F)``.  Larger
+    ``max_attempts`` (the paper's networks retry every loop-free alternate)
+    amplifies overflow and is what produces the classical bistability.
+    """
+    direct, protected = state
+    attempts = _expected_attempts(protected, max_attempts)
+    attempt_rate = 2.0 * load * direct * attempts * max(0.0, 1.0 - protected)
+    return _chain_statistics(load, capacity, reservation, attempt_rate)
+
+
+def network_blocking(state: tuple[float, float], max_attempts: int = 1) -> float:
+    """End-to-end blocking at a mean-field state.
+
+    A call is lost iff its direct link is full *and* all of its (up to
+    ``max_attempts``) two-hop alternates fail::
+
+        B = E * (1 - (1 - F)^2)^max_attempts
+    """
+    direct, protected = state
+    failure = 1.0 - (1.0 - protected) ** 2
+    return direct * failure**max_attempts
+
+
+def find_fixed_points(
+    load: float,
+    capacity: int,
+    reservation: int,
+    max_attempts: int = 1,
+    starts: Sequence[tuple[float, float]] = ((0.0, 0.0), (0.5, 0.5), (1.0, 1.0)),
+    tolerance: float = 1e-10,
+    max_iterations: int = 5_000,
+    resolution: float = 1e-3,
+) -> list[SymmetricFixedPoint]:
+    """All distinct fixed points reachable from the given starts.
+
+    Successive substitution converges to a *stable* fixed point from each
+    start; starts at the idle and saturated corners find the low- and
+    high-blocking branches when both exist.  Fixed points closer than
+    ``resolution`` in ``(E, F)`` are merged.  Returned sorted by blocking.
+    """
+    found: list[SymmetricFixedPoint] = []
+    for start in starts:
+        state = (float(start[0]), float(start[1]))
+        for __ in range(max_iterations):
+            new_state = mean_field_map(load, capacity, reservation, state, max_attempts)
+            delta = abs(new_state[0] - state[0]) + abs(new_state[1] - state[1])
+            state = new_state
+            if delta < tolerance:
+                break
+        attempts = _expected_attempts(state[1], max_attempts)
+        attempt_rate = 2.0 * load * state[0] * attempts * max(0.0, 1.0 - state[1])
+        candidate = SymmetricFixedPoint(
+            direct_blocking=state[0],
+            protection_occupancy=state[1],
+            overflow_rate=attempt_rate,
+            blocking=network_blocking(state, max_attempts),
+        )
+        duplicate = any(
+            abs(candidate.direct_blocking - fp.direct_blocking) < resolution
+            and abs(candidate.protection_occupancy - fp.protection_occupancy) < resolution
+            for fp in found
+        )
+        if not duplicate:
+            found.append(candidate)
+    found.sort(key=lambda fp: fp.blocking)
+    return found
+
+
+def bistable_loads(
+    capacity: int,
+    reservation: int,
+    loads: Sequence[float],
+    max_attempts: int = 1,
+) -> list[float]:
+    """The subset of ``loads`` at which the model has multiple fixed points."""
+    return [
+        float(load)
+        for load in loads
+        if len(find_fixed_points(load, capacity, reservation, max_attempts)) > 1
+    ]

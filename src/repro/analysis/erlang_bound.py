@@ -1,0 +1,112 @@
+"""The cut-set Erlang lower bound on network blocking (Section 4).
+
+For every node cut ``(S, complement)`` the traffic crossing the cut in each
+direction cannot do better than a single pooled Erlang link of the cut's
+total capacity — even if calls could be re-packed.  The paper evaluates, for
+each cut ``S``::
+
+    T(S->S') / T_total * B(T(S->S'), C(S->S'))
+  + T(S'->S) / T_total * B(T(S'->S), C(S'->S))
+
+and takes the maximum over cuts as a lower bound on the average network
+blocking (after Gibbens & Kelly's direction-less argument).  On the paper's
+small meshes exhaustive enumeration of the ``2^N - 2`` cuts is cheap; a
+restriction to single-node cuts is provided for larger networks.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..core.erlang import erlang_b
+from ..topology.graph import Network
+from ..traffic.matrix import TrafficMatrix
+
+__all__ = ["cut_bound_term", "erlang_bound", "single_node_cut_bound"]
+
+
+def _cut_quantities(
+    network: Network, traffic: TrafficMatrix, cut: frozenset[int]
+) -> tuple[float, int, float, int]:
+    """Traffic and capacity crossing the cut, in both directions.
+
+    Returns ``(traffic_out, capacity_out, traffic_in, capacity_in)`` where
+    "out" means from ``cut`` to its complement.
+    """
+    matrix = traffic.as_array()
+    inside = sorted(cut)
+    outside = [n for n in network.nodes() if n not in cut]
+    traffic_out = float(matrix[np.ix_(inside, outside)].sum())
+    traffic_in = float(matrix[np.ix_(outside, inside)].sum())
+    capacity_out = 0
+    capacity_in = 0
+    for link in network.links:
+        if network.is_failed(link.index):
+            continue
+        if link.src in cut and link.dst not in cut:
+            capacity_out += link.capacity
+        elif link.src not in cut and link.dst in cut:
+            capacity_in += link.capacity
+    return traffic_out, capacity_out, traffic_in, capacity_in
+
+
+def cut_bound_term(
+    network: Network, traffic: TrafficMatrix, cut: Iterable[int]
+) -> float:
+    """The paper's bound expression evaluated for one cut set ``S``."""
+    cut_set = frozenset(cut)
+    if not cut_set or cut_set >= set(network.nodes()):
+        raise ValueError("cut must be a proper non-empty subset of the nodes")
+    total = traffic.total
+    if total == 0.0:
+        return 0.0
+    t_out, c_out, t_in, c_in = _cut_quantities(network, traffic, cut_set)
+    term = 0.0
+    if t_out > 0.0:
+        term += (t_out / total) * erlang_b(t_out, c_out)
+    if t_in > 0.0:
+        term += (t_in / total) * erlang_b(t_in, c_in)
+    return term
+
+
+def _proper_subsets(num_nodes: int) -> Iterator[frozenset[int]]:
+    """All proper non-empty node subsets, one representative per complement pair.
+
+    The bound expression is symmetric under complementation (it sums both
+    directions), so enumerating half the subsets suffices.
+    """
+    nodes = list(range(num_nodes))
+    for size in range(1, num_nodes // 2 + 1):
+        for combo in combinations(nodes, size):
+            if 2 * size == num_nodes and 0 not in combo:
+                continue  # complement already seen
+            yield frozenset(combo)
+
+
+def erlang_bound(network: Network, traffic: TrafficMatrix) -> float:
+    """Maximum of the cut bound over all cuts — the paper's Erlang Bound.
+
+    A loose lower bound on the average network blocking of *any* routing
+    scheme (it even allows re-packing).  Exhaustive over the ``2^(N-1) - 1``
+    complement-distinct cuts; fine for the paper's 4- and 12-node networks.
+    """
+    if network.num_nodes > 22:
+        raise ValueError(
+            "exhaustive cut enumeration is impractical beyond ~22 nodes; "
+            "use single_node_cut_bound"
+        )
+    best = 0.0
+    for cut in _proper_subsets(network.num_nodes):
+        best = max(best, cut_bound_term(network, traffic, cut))
+    return best
+
+
+def single_node_cut_bound(network: Network, traffic: TrafficMatrix) -> float:
+    """The bound restricted to single-node cuts (cheap, weaker)."""
+    best = 0.0
+    for node in network.nodes():
+        best = max(best, cut_bound_term(network, traffic, {node}))
+    return best

@@ -1,0 +1,23 @@
+"""Cellular channel-borrowing extension (Section 3.2 of the paper)."""
+
+from .channel_borrowing import (
+    FREE_BORROWING,
+    NO_BORROWING,
+    PROTECTED_BORROWING,
+    BorrowingPolicy,
+    CellularResult,
+    HexCellGrid,
+    protection_levels_for_grid,
+    simulate_cellular,
+)
+
+__all__ = [
+    "HexCellGrid",
+    "BorrowingPolicy",
+    "NO_BORROWING",
+    "FREE_BORROWING",
+    "PROTECTED_BORROWING",
+    "CellularResult",
+    "protection_levels_for_grid",
+    "simulate_cellular",
+]

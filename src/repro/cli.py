@@ -1,0 +1,322 @@
+"""Command-line interface: regenerate the paper's artifacts as text tables.
+
+Installed as ``repro-routing``.  Subcommands map to the paper's
+tables/figures, the analyses built around them, and an evaluate mode for
+user-supplied networks::
+
+    repro-routing list                       # registered experiment ids
+    repro-routing experiment FIG3            # regenerate one artifact
+    repro-routing report --output REPORT.md  # regenerate all of them
+    repro-routing table1                     # NSFNet protection levels
+    repro-routing figure2                    # r vs load curves
+    repro-routing quadrangle --seeds 10      # figures 3/4 sweep
+    repro-routing nsfnet --hops 6            # figures 6/7 sweep
+    repro-routing census                     # alternate-path census by H
+    repro-routing bistability                # mean-field fixed points
+    repro-routing theorem1                   # numeric bound verification
+    repro-routing evaluate --network my.json --traffic demand.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .analysis.bistability import find_fixed_points
+from .core.protection import min_protection_level
+from .core.theorem import verify_theorem1
+from .experiments.figures import (
+    figure2_protection_levels,
+    nsfnet_sweep,
+    quadrangle_sweep,
+)
+from .experiments.report import format_sweep, format_table, format_table1
+from .experiments.runner import PAPER_CONFIG
+from .experiments.tables import regenerate_table1, table1_agreement
+
+__all__ = ["main"]
+
+
+def _config(args: argparse.Namespace):
+    return PAPER_CONFIG.scaled(
+        duration_factor=args.duration / 100.0, num_seeds=args.seeds
+    )
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    curves = figure2_protection_levels()
+    loads = curves[2][0]
+    rows = []
+    for i, load in enumerate(loads):
+        if load % args.step:
+            continue
+        rows.append([load] + [int(curves[h][1][i]) for h in (2, 6, 120)])
+    print("Figure 2: protection level r vs primary load (C = 100)")
+    print(format_table(["Lambda", "r(H=2)", "r(H=6)", "r(H=120)"], rows))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = regenerate_table1()
+    print("Table 1: NSFNet directed links under the nominal (calibrated) load")
+    print(format_table1(rows))
+    summary = table1_agreement(rows)
+    print(
+        f"\nagreement: loads {summary['load_match_fraction']:.0%}, "
+        f"protection levels {summary['protection_match_fraction']:.0%} "
+        f"(worst gap {summary['worst_protection_gap']:.0f}; residual "
+        "mismatches trace to the paper's integer-rounded Lambda column)"
+    )
+    return 0
+
+
+def _maybe_save(args: argparse.Namespace, points, title: str) -> None:
+    if getattr(args, "output", None):
+        from .experiments.storage import save_sweep
+
+        save_sweep(args.output, points, config=_config(args), title=title)
+        print(f"\nsaved to {args.output}")
+
+
+def _cmd_quadrangle(args: argparse.Namespace) -> int:
+    title = "Figures 3/4: fully-connected quadrangle, blocking vs per-pair load"
+    points = quadrangle_sweep(config=_config(args))
+    print(format_sweep(points, title))
+    _maybe_save(args, points, title)
+    return 0
+
+
+def _cmd_nsfnet(args: argparse.Namespace) -> int:
+    hops = None if args.hops in (None, 11) else args.hops
+    points = nsfnet_sweep(max_hops=hops, config=_config(args), include_ott_krishnan=args.ott_krishnan)
+    label = "H=11 (unlimited)" if hops is None else f"H={hops}"
+    title = f"Figures 6/7: NSFNet model, {label}, blocking vs load (nominal = 10)"
+    print(format_sweep(points, title))
+    _maybe_save(args, points, title)
+    return 0
+
+
+def _cmd_theorem1(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    for __ in range(args.trials):
+        capacity = int(rng.integers(2, 60))
+        protection = int(rng.integers(0, capacity + 1))
+        demand = float(rng.uniform(0.1, 1.8)) * capacity
+        nu = demand * float(rng.uniform(0.3, 1.0))
+        overflow = np.sort(rng.uniform(0, 2.0 * capacity, size=capacity))[::-1].copy()
+        check = verify_theorem1(demand, capacity, protection, overflow, primary_rate=nu)
+        rows.append(
+            [capacity, protection, round(demand, 1),
+             check.worst_displacement, check.bound, "yes" if check.holds else "NO"]
+        )
+    print("Theorem 1: exact displacement vs bound (random non-increasing overflow profiles)")
+    print(format_table(["C", "r", "Lambda", "L (exact)", "bound", "holds"], rows))
+    return 0
+
+
+def _cmd_census(args: argparse.Namespace) -> int:
+    from .topology.nsfnet import nsfnet_backbone
+    from .topology.paths import alternate_path_census, build_path_table
+
+    network = nsfnet_backbone()
+    rows = []
+    for hops in args.hops:
+        census = alternate_path_census(build_path_table(network, max_hops=hops))
+        rows.append([hops, census["mean"], int(census["max"]), int(census["min"])])
+    print("NSFNet alternate-path census by hop limit H")
+    print(format_table(["H", "mean", "max", "min"], rows))
+    return 0
+
+
+def _cmd_bistability(args: argparse.Namespace) -> int:
+    rows = []
+    for load in args.loads:
+        unprotected = find_fixed_points(load, args.capacity, 0, max_attempts=args.attempts)
+        level = min_protection_level(load, args.capacity, 2)
+        protected = find_fixed_points(
+            load, args.capacity, level, max_attempts=args.attempts
+        )
+        rows.append(
+            [
+                load,
+                len(unprotected),
+                unprotected[0].blocking,
+                unprotected[-1].blocking,
+                level,
+                protected[-1].blocking,
+            ]
+        )
+    print(
+        f"Symmetric mean-field fixed points, C={args.capacity}, "
+        f"{args.attempts} alternate attempts"
+    )
+    print(
+        format_table(
+            ["load", "#fp(r=0)", "low B", "high B", "r(Eq15)", "B(protected)"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments.registry import run_experiment
+
+    print(run_experiment(args.id, _config(args)))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .experiments.registry import list_experiments
+
+    print(list_experiments())
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .analysis.erlang_bound import erlang_bound
+    from .experiments.report import format_table as fmt
+    from .routing.alternate import (
+        ControlledAlternateRouting,
+        LengthAdaptiveControlledRouting,
+        UncontrolledAlternateRouting,
+    )
+    from .routing.single_path import SinglePathRouting
+    from .experiments.runner import compare_policies
+    from .topology.io import load_network
+    from .topology.paths import build_path_table
+    from .traffic.demand import primary_link_loads
+    from .traffic.io import load_traffic
+
+    network = load_network(args.network)
+    traffic = load_traffic(args.traffic)
+    if traffic.num_nodes != network.num_nodes:
+        raise SystemExit(
+            f"traffic is for {traffic.num_nodes} nodes but the network has "
+            f"{network.num_nodes}"
+        )
+    table = build_path_table(network, max_hops=args.hops)
+    loads = primary_link_loads(network, table, traffic)
+    policies = {
+        "single-path": SinglePathRouting(network, table),
+        "uncontrolled": UncontrolledAlternateRouting(network, table),
+        "controlled": ControlledAlternateRouting(network, table, loads),
+        "length-adaptive": LengthAdaptiveControlledRouting(network, table, loads),
+    }
+    stats = compare_policies(network, policies, traffic, _config(args))
+    print(
+        f"{network.num_nodes} nodes, {network.num_links} directed links, "
+        f"{traffic.total:.1f} Erlangs offered"
+    )
+    print(
+        fmt(
+            ["policy", "blocking", "ci"],
+            [[name, stat.mean, stat.half_width] for name, stat in stats.items()],
+        )
+    )
+    if network.num_nodes <= 16:
+        print(f"Erlang cut-set lower bound: {erlang_bound(network, traffic):.6f}")
+    controlled = policies["controlled"]
+    protected = int(np.count_nonzero(controlled.protection_levels))
+    print(f"protection: {protected}/{network.num_links} links with r > 0")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .experiments.registry import run_all
+
+    report = run_all(_config(args))
+    if args.output:
+        Path(args.output).write_text(report)
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-routing",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig2 = sub.add_parser("figure2", help="protection level vs load curves")
+    fig2.add_argument("--step", type=int, default=10, help="print every STEP Erlangs")
+    fig2.set_defaults(func=_cmd_figure2)
+
+    tab1 = sub.add_parser("table1", help="NSFNet protection-level table")
+    tab1.set_defaults(func=_cmd_table1)
+
+    for name, func, help_text in (
+        ("quadrangle", _cmd_quadrangle, "figures 3/4 blocking sweep"),
+        ("nsfnet", _cmd_nsfnet, "figures 6/7 blocking sweep"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--seeds", type=int, default=10, help="replications per point")
+        cmd.add_argument("--duration", type=float, default=100.0, help="measured time units")
+        cmd.add_argument("--output", help="save the sweep as JSON to this path")
+        if name == "nsfnet":
+            cmd.add_argument("--hops", type=int, default=11, help="H, max alternate hops")
+            cmd.add_argument("--ott-krishnan", action="store_true", help="include the shadow-price comparator")
+        cmd.set_defaults(func=func)
+
+    thm = sub.add_parser("theorem1", help="numeric Theorem-1 verification")
+    thm.add_argument("--trials", type=int, default=10)
+    thm.add_argument("--seed", type=int, default=0)
+    thm.set_defaults(func=_cmd_theorem1)
+
+    census = sub.add_parser("census", help="NSFNet alternate-path census by H")
+    census.add_argument("--hops", type=int, nargs="+", default=[6, 9, 11])
+    census.set_defaults(func=_cmd_census)
+
+    bist = sub.add_parser("bistability", help="mean-field bistability analysis")
+    bist.add_argument("--capacity", type=int, default=120)
+    bist.add_argument("--attempts", type=int, default=5)
+    bist.add_argument(
+        "--loads", type=float, nargs="+", default=[90.0, 96.0, 100.0, 104.0, 108.0]
+    )
+    bist.set_defaults(func=_cmd_bistability)
+
+    exp = sub.add_parser("experiment", help="regenerate one registered experiment")
+    exp.add_argument("id", help="experiment id from DESIGN.md (e.g. FIG3, TAB1)")
+    exp.add_argument("--seeds", type=int, default=10)
+    exp.add_argument("--duration", type=float, default=100.0)
+    exp.set_defaults(func=_cmd_experiment)
+
+    lister = sub.add_parser("list", help="list registered experiments")
+    lister.set_defaults(func=_cmd_list)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="run the routing schemes on your own network + traffic"
+    )
+    evaluate.add_argument("--network", required=True, help="network JSON file")
+    evaluate.add_argument("--traffic", required=True, help="traffic JSON file")
+    evaluate.add_argument("--hops", type=int, default=None, help="alternate hop cap H")
+    evaluate.add_argument("--seeds", type=int, default=10)
+    evaluate.add_argument("--duration", type=float, default=100.0)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    report = sub.add_parser("report", help="regenerate every experiment into one report")
+    report.add_argument("--seeds", type=int, default=10)
+    report.add_argument("--duration", type=float, default=100.0)
+    report.add_argument("--output", help="write the markdown report here")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""Analytic core: Erlang blocking, birth-death chains, Theorem 1, protection levels."""
+
+from .erlang import (
+    erlang_b,
+    erlang_b_derivative,
+    erlang_b_fixed_capacity_solve,
+    erlang_b_inverse_sequence,
+    erlang_b_sequence,
+    log_erlang_b_inverse_sequence,
+    expected_lost_calls,
+    expected_lost_calls_derivative,
+    generalized_erlang_b,
+)
+from .markov import BirthDeathChain, link_chain
+from .multirate import (
+    TrafficClass,
+    kaufman_roberts_distribution,
+    multirate_blocking,
+    multirate_protection_level,
+)
+from .protection import (
+    displacement_bound,
+    figure2_curve,
+    min_protection_level,
+    protection_levels,
+)
+from .theorem import (
+    TheoremCheck,
+    displacement_profile,
+    exact_displacement,
+    verify_theorem1,
+)
+
+__all__ = [
+    "erlang_b",
+    "erlang_b_derivative",
+    "erlang_b_fixed_capacity_solve",
+    "erlang_b_inverse_sequence",
+    "erlang_b_sequence",
+    "log_erlang_b_inverse_sequence",
+    "expected_lost_calls",
+    "expected_lost_calls_derivative",
+    "generalized_erlang_b",
+    "BirthDeathChain",
+    "link_chain",
+    "TrafficClass",
+    "kaufman_roberts_distribution",
+    "multirate_blocking",
+    "multirate_protection_level",
+    "displacement_bound",
+    "figure2_curve",
+    "min_protection_level",
+    "protection_levels",
+    "TheoremCheck",
+    "displacement_profile",
+    "exact_displacement",
+    "verify_theorem1",
+]

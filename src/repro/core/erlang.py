@@ -1,0 +1,219 @@
+"""Erlang blocking functions.
+
+This module implements the classical Erlang-B blocking function, its
+numerically stable inverse-blocking recursion (Jagerman's Equation 12, which
+the paper leans on in Section 2), the generalized Erlang blocking function of
+a birth-death chain with state-dependent arrival rates, and the derivatives
+needed by the min-link-loss primary-path optimizer.
+
+Everything operates on a link modeled as an ``M/M/C/C`` loss system: calls
+arrive Poisson at ``load`` Erlangs (holding time is the unit of time) and the
+link carries at most ``capacity`` simultaneous calls.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "erlang_b",
+    "erlang_b_inverse_sequence",
+    "erlang_b_sequence",
+    "log_erlang_b_inverse_sequence",
+    "erlang_b_derivative",
+    "expected_lost_calls",
+    "expected_lost_calls_derivative",
+    "generalized_erlang_b",
+    "erlang_b_fixed_capacity_solve",
+]
+
+
+def _validate_capacity(capacity: int) -> int:
+    if capacity != int(capacity) or capacity < 0:
+        raise ValueError(f"capacity must be a non-negative integer, got {capacity!r}")
+    return int(capacity)
+
+
+def _validate_load(load: float) -> float:
+    load = float(load)
+    if load < 0 or math.isnan(load):
+        raise ValueError(f"load must be non-negative, got {load!r}")
+    return load
+
+
+def erlang_b_inverse_sequence(load: float, capacity: int) -> np.ndarray:
+    """Return ``y_x = 1 / B(load, x)`` for ``x = 0 .. capacity``.
+
+    Uses the well-known recursion for the inverse blocking function
+    (Equation 12 of the paper, after Jagerman)::
+
+        y_0 = 1
+        y_x = 1 + (x / load) * y_{x-1}
+
+    The recursion is numerically stable (all terms positive) and costs
+    ``O(capacity)``.  For ``load == 0`` the convention ``B(0, 0) = 1`` and
+    ``B(0, x) = 0`` for ``x >= 1`` applies, so ``y`` is ``[1, inf, ...]``.
+    """
+    load = _validate_load(load)
+    capacity = _validate_capacity(capacity)
+    y = np.empty(capacity + 1, dtype=float)
+    y[0] = 1.0
+    if capacity == 0:
+        return y
+    if load == 0.0:
+        y[1:] = np.inf
+        return y
+    with np.errstate(over="ignore"):
+        # Overflow to inf is the correct limit: y -> inf means B -> 0.
+        for x in range(1, capacity + 1):
+            y[x] = 1.0 + (x / load) * y[x - 1]
+    return y
+
+
+def erlang_b_sequence(load: float, capacity: int) -> np.ndarray:
+    """Return ``B(load, x)`` for ``x = 0 .. capacity`` as an array."""
+    y = erlang_b_inverse_sequence(load, capacity)
+    with np.errstate(divide="ignore"):
+        return 1.0 / y
+
+
+def log_erlang_b_inverse_sequence(load: float, capacity: int) -> np.ndarray:
+    """Return ``log y_x = -log B(load, x)`` for ``x = 0 .. capacity``.
+
+    The plain recursion overflows ``y`` (equivalently, ``B`` underflows)
+    once blocking drops below ~1e-308 — routine for lightly loaded links of
+    even moderate capacity.  Running it in log space,
+    ``log y_x = logaddexp(0, log(x / load) + log y_{x-1})``, stays finite for
+    any positive load, which is what the protection-level search needs: it
+    compares *ratios* of blockings that are individually unrepresentable.
+    """
+    load = _validate_load(load)
+    capacity = _validate_capacity(capacity)
+    log_y = np.empty(capacity + 1, dtype=float)
+    log_y[0] = 0.0
+    if capacity == 0:
+        return log_y
+    if load == 0.0:
+        log_y[1:] = np.inf
+        return log_y
+    log_load = math.log(load)
+    for x in range(1, capacity + 1):
+        # log(x) - log(load), not log(x / load): the quotient overflows for
+        # subnormal loads long before its logarithm does.
+        log_y[x] = np.logaddexp(0.0, math.log(x) - log_load + log_y[x - 1])
+    return log_y
+
+
+def erlang_b(load: float, capacity: int) -> float:
+    """Erlang-B blocking probability ``B(load, capacity)``.
+
+    ``load`` is the offered traffic in Erlangs; ``capacity`` is the number of
+    simultaneous calls the link supports.  ``B(load, 0) == 1`` for any load
+    (a zero-capacity link blocks everything) and ``B(0, c) == 0`` for
+    ``c >= 1``.
+    """
+    load = _validate_load(load)
+    capacity = _validate_capacity(capacity)
+    if capacity == 0:
+        return 1.0
+    if load == 0.0:
+        return 0.0
+    y = 1.0
+    for x in range(1, capacity + 1):
+        y = 1.0 + (x / load) * y
+    return 1.0 / y
+
+
+def erlang_b_derivative(load: float, capacity: int) -> float:
+    """Derivative ``dB/d(load)`` of the Erlang-B function in the load.
+
+    Uses the closed form ``B'(a) = B(a) * (C / a - 1 + B(a))`` which follows
+    from differentiating the defining sum.  Needed by the min-link-loss
+    optimizer (Section 4.2.2 of the paper, after Krishnan [23]).
+    """
+    load = _validate_load(load)
+    capacity = _validate_capacity(capacity)
+    if capacity == 0:
+        return 0.0
+    if load == 0.0:
+        # B(a, C) ~ a^C / C! near zero, so B'(0) = 0 for C >= 2 and 1 for C == 1.
+        return 1.0 if capacity == 1 else 0.0
+    b = erlang_b(load, capacity)
+    return b * (capacity / load - 1.0 + b)
+
+
+def expected_lost_calls(load: float, capacity: int) -> float:
+    """Expected lost-call rate ``load * B(load, capacity)``.
+
+    Krishnan [23] proves this is convex in ``load``, which is what makes the
+    min-link-loss primary-path optimization a convex program.
+    """
+    return _validate_load(load) * erlang_b(load, capacity)
+
+
+def expected_lost_calls_derivative(load: float, capacity: int) -> float:
+    """Derivative of ``load * B(load, capacity)`` in the load."""
+    load = _validate_load(load)
+    b = erlang_b(load, capacity)
+    return b + load * erlang_b_derivative(load, capacity)
+
+
+def generalized_erlang_b(birth_rates: Sequence[float]) -> float:
+    """Generalized Erlang blocking function ``B(lambda_vec, C)``.
+
+    ``birth_rates[s]`` is the total arrival rate when the link holds ``s``
+    calls, for ``s = 0 .. C-1`` (so ``C = len(birth_rates)``).  Death rates
+    are the canonical ``[1, 2, ..., C]`` of unit-mean exponential holding
+    times.  Returns the stationary probability of the full state ``C`` —
+    the *time* blocking, which by PASTA equals the call blocking seen by any
+    state-independent Poisson sub-stream.
+
+    This is the ``B(lambda_, C)`` of the paper's Theorem-1 proof (Figure 1).
+    """
+    rates = [float(r) for r in birth_rates]
+    if any(r < 0 for r in rates):
+        raise ValueError("birth rates must be non-negative")
+    capacity = len(rates)
+    if capacity == 0:
+        return 1.0
+    # Unnormalized stationary weights pi_s = prod_{j<s} birth[j] / (j+1),
+    # accumulated in a running fashion and normalized at the end.  To avoid
+    # overflow for large capacities we renormalize on the fly.
+    weights = np.empty(capacity + 1, dtype=float)
+    weights[0] = 1.0
+    for s in range(capacity):
+        weights[s + 1] = weights[s] * rates[s] / (s + 1.0)
+        if weights[s + 1] > 1e250:
+            weights[: s + 2] /= weights[s + 1]
+    total = weights.sum()
+    return float(weights[capacity] / total)
+
+
+def erlang_b_fixed_capacity_solve(blocking: float, capacity: int) -> float:
+    """Invert Erlang-B in the load: find ``a`` with ``B(a, capacity) = blocking``.
+
+    Solved by bisection; ``B`` is strictly increasing in the load for
+    ``capacity >= 1``.  Raises ``ValueError`` for targets outside ``(0, 1)``.
+    """
+    capacity = _validate_capacity(capacity)
+    if capacity == 0:
+        raise ValueError("capacity 0 blocks everything; no load solves B = blocking < 1")
+    if not 0.0 < blocking < 1.0:
+        raise ValueError(f"blocking must lie strictly in (0, 1), got {blocking!r}")
+    lo, hi = 0.0, max(1.0, float(capacity))
+    while erlang_b(hi, capacity) < blocking:
+        hi *= 2.0
+        if hi > 1e12:
+            raise ValueError("no finite load reaches the requested blocking")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if erlang_b(mid, capacity) < blocking:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= 1e-12 * max(1.0, hi):
+            break
+    return 0.5 * (lo + hi)

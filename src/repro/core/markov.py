@@ -1,0 +1,192 @@
+"""Birth-death Markov chains for single-link occupancy processes.
+
+The paper's Theorem 1 reasons about a link as a birth-death chain whose
+states count calls in progress (Figure 1 of the paper).  This module gives an
+exact, self-contained treatment of such chains: stationary distributions,
+time- and call-blocking, and the first-passage quantities (``E[tau]`` and the
+expected accepted-arrival count ``X_{s,s+1}``) that drive both the proof of
+Theorem 1 and the Ott-Krishnan shadow prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["BirthDeathChain", "link_chain"]
+
+
+@dataclass(frozen=True)
+class BirthDeathChain:
+    """A finite birth-death chain on states ``0 .. n``.
+
+    ``births[s]`` is the rate of the ``s -> s+1`` transition for
+    ``s = 0 .. n-1`` and ``deaths[s]`` the rate of ``s+1 -> s``.  Both arrays
+    therefore have length ``n``.  All rates must be non-negative; the chain
+    is irreducible over ``0 .. n`` when all rates are strictly positive.
+    """
+
+    births: np.ndarray
+    deaths: np.ndarray
+
+    def __init__(self, births: Sequence[float], deaths: Sequence[float]):
+        births_arr = np.asarray(births, dtype=float)
+        deaths_arr = np.asarray(deaths, dtype=float)
+        if births_arr.ndim != 1 or deaths_arr.ndim != 1:
+            raise ValueError("births and deaths must be one-dimensional")
+        if births_arr.shape != deaths_arr.shape:
+            raise ValueError(
+                f"births (len {births_arr.size}) and deaths (len {deaths_arr.size}) "
+                "must have equal length"
+            )
+        if births_arr.size == 0:
+            raise ValueError("chain needs at least one transition")
+        if (births_arr < 0).any() or (deaths_arr < 0).any():
+            raise ValueError("rates must be non-negative")
+        object.__setattr__(self, "births", births_arr)
+        object.__setattr__(self, "deaths", deaths_arr)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states, ``n + 1``."""
+        return self.births.size + 1
+
+    @property
+    def top_state(self) -> int:
+        """The highest state ``n``."""
+        return self.births.size
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Exact stationary distribution via detailed balance.
+
+        ``pi[s+1] * deaths[s] = pi[s] * births[s]``.  States upstream of a
+        zero birth rate get zero mass (the chain eventually drains below the
+        blockage); a zero death rate with positive inflow concentrates mass
+        above it.  Degenerate all-zero chains raise ``ValueError``.
+        """
+        n = self.num_states
+        weights = np.zeros(n, dtype=float)
+        weights[0] = 1.0
+        for s in range(n - 1):
+            if self.deaths[s] == 0.0:
+                if self.births[s] > 0.0:
+                    # All mass escapes upward past s; restart accumulation.
+                    weights[: s + 1] = 0.0
+                    weights[s + 1] = 1.0
+                else:
+                    weights[s + 1] = 0.0
+                continue
+            weights[s + 1] = weights[s] * self.births[s] / self.deaths[s]
+            if weights[s + 1] > 1e250:
+                weights /= weights[s + 1]
+        total = weights.sum()
+        if total <= 0.0:
+            raise ValueError("degenerate chain: no state has stationary mass")
+        return weights / total
+
+    def time_blocking(self) -> float:
+        """Stationary probability of the top state."""
+        return float(self.stationary_distribution()[self.top_state])
+
+    def call_blocking(self) -> float:
+        """Fraction of arrivals that find the chain in the top state.
+
+        With state-dependent arrivals the arriving customer's view differs
+        from the time average: the blocking seen by arrivals is
+        ``births-weighted``.  The top state contributes with the arrival rate
+        it *would* see; we take it to be the last birth rate (the paper's
+        chains always saturate their rate vectors this way).
+        """
+        pi = self.stationary_distribution()
+        top_rate = self.births[-1]
+        arrival_rates = np.append(self.births, top_rate)
+        seen = arrival_rates * pi
+        total = seen.sum()
+        if total == 0.0:
+            return 0.0
+        return float(seen[self.top_state] / total)
+
+    def upward_passage_times(self) -> np.ndarray:
+        """``m[s] = E[time to first hit s+1, starting from s]`` for each s.
+
+        Standard birth-death recursion::
+
+            m_0 = 1 / births[0]
+            m_s = (1 + deaths[s-1] * m_{s-1}) / births[s]
+
+        A zero birth rate makes the passage impossible; the entry (and all
+        entries above it) become ``inf``.
+        """
+        n = self.births.size
+        m = np.empty(n, dtype=float)
+        with np.errstate(divide="ignore"):
+            m[0] = np.inf if self.births[0] == 0.0 else 1.0 / self.births[0]
+            for s in range(1, n):
+                if self.births[s] == 0.0:
+                    m[s] = np.inf
+                else:
+                    m[s] = (1.0 + self.deaths[s - 1] * m[s - 1]) / self.births[s]
+        return m
+
+    def upward_passage_counts(self) -> np.ndarray:
+        """``X[s] = E[# accepted arrivals from s until first hitting s+1]``.
+
+        This is the ``X_{s,s+1}`` of the paper's Theorem-1 proof
+        (Equations 4-5)::
+
+            X_0 = 1
+            X_s = 1 + (deaths[s-1] / births[s]) * X_{s-1}
+
+        Note the death rate indexing: from state ``s`` the downward rate is
+        ``deaths[s-1]``.
+        """
+        n = self.births.size
+        x = np.empty(n, dtype=float)
+        x[0] = 1.0 if self.births[0] > 0.0 else np.inf
+        for s in range(1, n):
+            if self.births[s] == 0.0:
+                x[s] = np.inf
+            else:
+                x[s] = 1.0 + (self.deaths[s - 1] / self.births[s]) * x[s - 1]
+        return x
+
+    def mean_occupancy(self) -> float:
+        """Stationary mean state (carried calls for a link chain)."""
+        pi = self.stationary_distribution()
+        return float(np.dot(pi, np.arange(self.num_states)))
+
+
+def link_chain(
+    primary_rate: float,
+    capacity: int,
+    protection: int = 0,
+    overflow_rates: Sequence[float] | None = None,
+) -> BirthDeathChain:
+    """Build the occupancy chain of a protected link (paper's Figure 1).
+
+    ``primary_rate`` is the state-independent Poisson rate ``nu`` of primary
+    calls.  ``overflow_rates[s]`` is the (arbitrary, state-dependent) rate
+    ``lambda_s^(o)`` of alternate-routed arrivals in state ``s``; it is
+    truncated by state protection: alternate calls are rejected in states
+    ``capacity - protection .. capacity``, so only entries for
+    ``s < capacity - protection`` contribute.  Death rates are
+    ``[1 .. capacity]`` (unit-mean exponential holding).
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if not 0 <= protection <= capacity:
+        raise ValueError(f"protection must lie in [0, {capacity}], got {protection}")
+    if primary_rate < 0:
+        raise ValueError("primary_rate must be non-negative")
+    births = np.full(capacity, float(primary_rate))
+    accept_limit = capacity - protection  # alternate calls accepted in states < limit
+    if overflow_rates is not None:
+        overflow = np.asarray(overflow_rates, dtype=float)
+        if (overflow < 0).any():
+            raise ValueError("overflow rates must be non-negative")
+        usable = min(overflow.size, accept_limit)
+        births[:usable] += overflow[:usable]
+    deaths = np.arange(1, capacity + 1, dtype=float)
+    return BirthDeathChain(births, deaths)

@@ -1,0 +1,131 @@
+"""Multirate (multi-service) loss links — the paper's stated future work.
+
+The paper restricts itself to calls of identical bandwidth ("In this
+preliminary study we do not address the support of multiple call types")
+while noting that its control strategy extends to Multiple Service/Multiple
+Resource models.  This module supplies the multirate substrate:
+
+* the **Kaufman-Roberts recursion** — the exact occupancy distribution and
+  per-class blocking of a complete-sharing link offered several Poisson
+  classes with integer bandwidths (the multirate generalization of
+  Erlang-B);
+* a **conservative protection level** for multirate alternate routing: a
+  bandwidth-``b`` alternate call is treated as ``b`` simultaneous unit
+  calls, each of which Theorem 1 charges with at most
+  ``B(L, C)/B(L, C - r)`` displaced primary *units*, where ``L`` is the
+  link's primary demand in bandwidth units.  Requiring the per-unit bound
+  to be at most ``1 / (H * b_max)`` makes the whole alternate call's
+  displacement along any route at most one call-equivalent, preserving the
+  better-than-single-path guarantee.  This unit-decomposition is a
+  conservative engineering extension, not a theorem from the paper; it is
+  exact in the single-class unit-bandwidth case, where it reduces to
+  Equation 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .protection import min_protection_level
+
+__all__ = [
+    "TrafficClass",
+    "kaufman_roberts_distribution",
+    "multirate_blocking",
+    "multirate_protection_level",
+]
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One call class: a name, an offered load (Erlangs) and a bandwidth.
+
+    Bandwidth is in capacity units (the paper's prototype call — 1 Mb/s
+    video on links provisioned in 1 Mb/s slots — is bandwidth 1).  Holding
+    times are unit mean for every class, as in the paper.
+    """
+
+    name: str
+    load: float
+    bandwidth: int
+
+    def __post_init__(self) -> None:
+        if self.load < 0:
+            raise ValueError(f"load must be non-negative, got {self.load}")
+        if self.bandwidth < 1 or self.bandwidth != int(self.bandwidth):
+            raise ValueError(f"bandwidth must be a positive integer, got {self.bandwidth}")
+
+
+def kaufman_roberts_distribution(
+    classes: Sequence[TrafficClass], capacity: int
+) -> np.ndarray:
+    """Exact occupancy distribution of a complete-sharing multirate link.
+
+    Returns ``q`` with ``q[j]`` the stationary probability that ``j``
+    bandwidth units are busy, via the Kaufman-Roberts recursion::
+
+        j * q(j) = sum over classes k of  load_k * b_k * q(j - b_k)
+
+    Exact for Poisson arrivals and any holding-time distribution with unit
+    mean (the distribution is insensitive).  Reduces to the Erlang
+    distribution when a single unit-bandwidth class is offered.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    q = np.zeros(capacity + 1, dtype=float)
+    q[0] = 1.0
+    for j in range(1, capacity + 1):
+        total = 0.0
+        for cls in classes:
+            if cls.bandwidth <= j and cls.load > 0:
+                total += cls.load * cls.bandwidth * q[j - cls.bandwidth]
+        q[j] = total / j
+        if q[j] > 1e250:
+            q[: j + 1] /= q[j]
+    q /= q.sum()
+    return q
+
+
+def multirate_blocking(
+    classes: Sequence[TrafficClass], capacity: int
+) -> dict[str, float]:
+    """Per-class blocking probabilities of a complete-sharing link.
+
+    Class ``k`` is blocked when fewer than ``b_k`` units are free::
+
+        B_k = sum of q(j) for j > capacity - b_k
+
+    (By PASTA each Poisson class sees the stationary distribution.)
+    """
+    q = kaufman_roberts_distribution(classes, capacity)
+    blocking: dict[str, float] = {}
+    for cls in classes:
+        threshold = capacity - cls.bandwidth
+        blocking[cls.name] = float(q[threshold + 1 :].sum()) if threshold >= 0 else 1.0
+    return blocking
+
+
+def multirate_protection_level(
+    primary_unit_load: float,
+    capacity: int,
+    max_hops: int,
+    max_alternate_bandwidth: int,
+) -> int:
+    """Conservative protection level for a multirate link.
+
+    ``primary_unit_load`` is the link's primary demand measured in bandwidth
+    units (each class contributes ``load * bandwidth``); ``capacity`` is in
+    the same units.  An alternate call of bandwidth ``b`` is decomposed into
+    ``b`` unit calls; bounding each unit's displacement by
+    ``1 / (max_hops * max_alternate_bandwidth)`` caps the call's total
+    displacement along any alternate route at one call-equivalent.  With a
+    single unit-bandwidth class this is exactly the paper's Equation 15.
+    """
+    if max_alternate_bandwidth < 1:
+        raise ValueError("max_alternate_bandwidth must be >= 1")
+    return min_protection_level(
+        primary_unit_load, capacity, max_hops * max_alternate_bandwidth
+    )

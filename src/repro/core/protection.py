@@ -1,0 +1,138 @@
+"""State-protection (trunk-reservation) level selection — Section 3 of the paper.
+
+A link with capacity ``C`` and protection level ``r`` rejects alternate-routed
+calls whenever its occupancy is in the top ``r + 1`` states
+``{C - r, ..., C}``.  Theorem 1 bounds the expected number of *extra* primary
+calls lost because one alternate call was accepted::
+
+    L  <=  B(Lambda, C) / B(Lambda, C - r)
+
+where ``Lambda`` is the primary traffic demand on the link.  If alternate
+paths have at most ``H`` hops, setting every link's bound to at most ``1/H``
+makes the total expected displacement along any alternate path at most one —
+so admitting the alternate call can only improve on single-path routing.
+
+This module computes the smallest such ``r`` (the paper's Equation 15), the
+full Figure-2 curves, and per-link levels for a whole network.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .erlang import log_erlang_b_inverse_sequence
+
+__all__ = [
+    "displacement_bound",
+    "min_protection_level",
+    "protection_levels",
+    "figure2_curve",
+]
+
+
+def displacement_bound(load: float, capacity: int, protection: int) -> float:
+    """Theorem-1 bound ``B(load, C) / B(load, C - r)`` on primary displacement.
+
+    Monotone non-increasing in ``protection``; ``protection == 0`` gives
+    exactly 1 for any positive load.  Computed through the log-space inverse
+    blocking recursion so the ratio stays accurate even when the individual
+    blockings underflow (lightly loaded links).  A link with zero primary
+    load has nothing to displace; its bound is 0 (except the degenerate
+    fully-protected case, where the ratio is 1 by convention but no
+    alternate is ever admitted anyway).
+    """
+    if not 0 <= protection <= capacity:
+        raise ValueError(f"protection must lie in [0, {capacity}], got {protection}")
+    if load == 0.0:
+        # B(0, C) = 0 for C >= 1, so the ratio is 0 (a zero-capacity link
+        # blocks everything and the ratio degenerates to 1).
+        return 1.0 if capacity == 0 else 0.0
+    log_y = log_erlang_b_inverse_sequence(load, capacity)
+    # B(load, C) / B(load, C - r) = y_{C-r} / y_C.
+    return float(math.exp(log_y[capacity - protection] - log_y[capacity]))
+
+
+def min_protection_level(load: float, capacity: int, max_hops: int) -> int:
+    """Smallest ``r`` with ``B(load, C)/B(load, C - r) <= 1/max_hops``.
+
+    This is the paper's Equation 15 solved for the minimal reservation
+    parameter.  If no ``r <= C`` satisfies the inequality (heavily overloaded
+    links), the link is fully protected and ``capacity`` is returned — the
+    link then never accepts alternate calls, exactly as in the paper's
+    Table 1 where overloaded links get ``r = C = 100``.
+
+    The search walks ``r`` upward using a single inverse-blocking recursion
+    pass, so the total cost is ``O(capacity)``.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if max_hops < 1:
+        raise ValueError("max_hops must be >= 1")
+    if load < 0:
+        raise ValueError("load must be non-negative")
+    if load == 0.0:
+        return 0
+    # bound(r) = y_{C-r} / y_C in the inverse-blocking sequence; log y is
+    # increasing in the index, so the bound is non-increasing in r.  Find
+    # the first r meeting log(bound) <= -log(max_hops).
+    log_y = log_erlang_b_inverse_sequence(load, capacity)
+    threshold = log_y[capacity] - math.log(float(max_hops))
+    for r in range(0, capacity + 1):
+        if log_y[capacity - r] <= threshold + 1e-15:
+            return r
+    return capacity
+
+
+def protection_levels(
+    loads: Mapping[object, float] | Sequence[float],
+    capacities: Mapping[object, int] | Sequence[int],
+    max_hops: int,
+) -> dict:
+    """Per-link protection levels for a whole network.
+
+    ``loads`` and ``capacities`` are parallel mappings (or sequences) keyed by
+    link identifier.  Returns ``{link: r}``.
+    """
+    if isinstance(loads, Mapping) != isinstance(capacities, Mapping):
+        raise TypeError("loads and capacities must both be mappings or both sequences")
+    if isinstance(loads, Mapping):
+        missing = set(loads) ^ set(capacities)
+        if missing:
+            raise ValueError(f"loads/capacities key mismatch: {sorted(map(str, missing))}")
+        keys = list(loads)
+        load_list = [loads[k] for k in keys]
+        cap_list = [capacities[k] for k in keys]
+    else:
+        if len(loads) != len(capacities):
+            raise ValueError("loads and capacities must have equal length")
+        keys = list(range(len(loads)))
+        load_list = list(loads)
+        cap_list = list(capacities)
+    return {
+        key: min_protection_level(load, cap, max_hops)
+        for key, load, cap in zip(keys, load_list, cap_list)
+    }
+
+
+def figure2_curve(
+    capacity: int = 100,
+    max_hops: int = 6,
+    loads: Sequence[float] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Regenerate one curve of the paper's Figure 2.
+
+    Returns ``(loads, r_values)`` with ``r`` the minimal protection level at
+    each primary load, for the given ``capacity`` and ``max_hops``.  The
+    paper plots ``C = 100`` with ``H = 2, 6, 120`` over ``Lambda <= C``.
+    """
+    if loads is None:
+        loads = np.arange(1.0, float(capacity) + 1.0)
+    load_arr = np.asarray(list(loads), dtype=float)
+    r_arr = np.array(
+        [min_protection_level(load, capacity, max_hops) for load in load_arr],
+        dtype=int,
+    )
+    return load_arr, r_arr

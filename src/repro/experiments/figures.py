@@ -1,0 +1,130 @@
+"""Regeneration of the paper's figures.
+
+Each function returns the plotted series as plain data (the repository is
+plot-library-free by design); the benchmark harnesses print the same rows.
+
+* :func:`figure2_protection_levels` — Figure 2: ``r`` vs ``Lambda`` for
+  ``C = 100`` and ``H in {2, 6, 120}``.
+* :func:`quadrangle_sweep` — Figures 3 and 4: blocking vs offered load on
+  the fully-connected quadrangle for single-path / uncontrolled /
+  controlled routing, plus the Erlang bound (the two figures show the same
+  data on linear and log scales).
+* :func:`nsfnet_sweep` — Figures 6 and 7: blocking vs load multiplier on
+  the NSFNet model (nominal load = 10), same four series, for a given ``H``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..analysis.erlang_bound import erlang_bound
+from ..core.protection import figure2_curve
+from ..routing.alternate import ControlledAlternateRouting, UncontrolledAlternateRouting
+from ..routing.shadow import OttKrishnanRouting
+from ..routing.single_path import SinglePathRouting
+from ..topology.generators import quadrangle
+from ..topology.graph import Network
+from ..topology.nsfnet import nsfnet_backbone
+from ..topology.paths import PathTable, build_path_table
+from ..traffic.calibration import nsfnet_nominal_traffic
+from ..traffic.demand import primary_link_loads
+from ..traffic.generators import uniform_traffic
+from ..traffic.matrix import TrafficMatrix
+from .runner import PAPER_CONFIG, ReplicationConfig, SweepPoint, compare_policies
+
+__all__ = [
+    "figure2_protection_levels",
+    "quadrangle_sweep",
+    "nsfnet_sweep",
+    "QUADRANGLE_LOADS",
+    "NSFNET_LOAD_MULTIPLIERS",
+]
+
+#: Per-pair offered loads (Erlangs) spanning the paper's Figure 3/4 range,
+#: bracketing the 85-95 Erlang crossover region it highlights.
+QUADRANGLE_LOADS: tuple[float, ...] = (60.0, 70.0, 80.0, 85.0, 90.0, 95.0, 100.0, 110.0)
+
+#: Load multipliers for Figures 6/7, as fractions of nominal (paper Load=10
+#: is nominal; we express the x-axis in the paper's units).
+NSFNET_LOAD_MULTIPLIERS: tuple[float, ...] = (6.0, 8.0, 9.0, 10.0, 11.0, 12.0, 14.0)
+
+
+def figure2_protection_levels(
+    capacity: int = 100,
+    hops: Sequence[int] = (2, 6, 120),
+    loads: Sequence[float] | None = None,
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """Figure 2's curves: ``{H: (loads, r_values)}``."""
+    return {h: figure2_curve(capacity, h, loads) for h in hops}
+
+
+def _standard_policies(
+    network: Network,
+    table: PathTable,
+    traffic: TrafficMatrix,
+    include_ott_krishnan: bool = False,
+) -> dict[str, object]:
+    loads = primary_link_loads(network, table, traffic)
+    policies: dict[str, object] = {
+        "single-path": SinglePathRouting(network, table),
+        "uncontrolled": UncontrolledAlternateRouting(network, table),
+        "controlled": ControlledAlternateRouting(network, table, loads),
+    }
+    if include_ott_krishnan:
+        policies["ott-krishnan"] = OttKrishnanRouting(network, table, loads)
+    return policies
+
+
+def quadrangle_sweep(
+    loads: Sequence[float] = QUADRANGLE_LOADS,
+    capacity: int = 100,
+    max_hops: int | None = None,
+    config: ReplicationConfig = PAPER_CONFIG,
+    include_ott_krishnan: bool = False,
+) -> list[SweepPoint]:
+    """Figures 3/4: blocking vs per-pair offered load on the quadrangle.
+
+    Protection levels are recomputed at every load point from that point's
+    primary demands, exactly as a deployed link would ("based on its current
+    estimate of the resource demand").
+    """
+    network = quadrangle(capacity)
+    table = build_path_table(network, max_hops=max_hops)
+    points: list[SweepPoint] = []
+    for per_pair in loads:
+        traffic = uniform_traffic(network.num_nodes, per_pair)
+        policies = _standard_policies(network, table, traffic, include_ott_krishnan)
+        blocking = compare_policies(network, policies, traffic, config)  # type: ignore[arg-type]
+        point = SweepPoint(load=float(per_pair), blocking=blocking)
+        point.erlang_bound = erlang_bound(network, traffic)
+        points.append(point)
+    return points
+
+
+def nsfnet_sweep(
+    load_values: Sequence[float] = NSFNET_LOAD_MULTIPLIERS,
+    max_hops: int | None = None,
+    config: ReplicationConfig = PAPER_CONFIG,
+    include_ott_krishnan: bool = False,
+) -> list[SweepPoint]:
+    """Figures 6/7: blocking vs load on the NSFNet model.
+
+    ``load_values`` use the paper's axis units where 10 is the nominal
+    (calibrated) matrix; other loads scale it linearly.  ``max_hops=None``
+    reproduces the unlimited-alternates setting (``H = 11``); pass 6 for
+    the Section-4.2.2 restriction.
+    """
+    network = nsfnet_backbone()
+    table = build_path_table(network, max_hops=max_hops)
+    nominal = nsfnet_nominal_traffic()
+    points: list[SweepPoint] = []
+    for load in load_values:
+        traffic = nominal.scaled(load / 10.0)
+        policies = _standard_policies(network, table, traffic, include_ott_krishnan)
+        blocking = compare_policies(network, policies, traffic, config)  # type: ignore[arg-type]
+        point = SweepPoint(load=float(load), blocking=blocking)
+        point.erlang_bound = erlang_bound(network, traffic)
+        points.append(point)
+    return points

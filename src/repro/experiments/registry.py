@@ -1,0 +1,305 @@
+"""Registry of the paper's experiments, keyed by DESIGN.md identifiers.
+
+Maps each experiment id (``FIG3``, ``TAB1``, ``EXP-FAIL``, ...) to a
+self-contained regeneration function returning a printable report, so the
+CLI (``repro-routing experiment FIG3``) and scripts can reproduce any single
+artifact without knowing which module implements it.  The benchmark files
+under ``benchmarks/`` exercise the same code paths with assertions attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .figures import figure2_protection_levels, nsfnet_sweep, quadrangle_sweep
+from .generalization import general_mesh_comparison
+from .optimal_r import empirical_optimal_reservation
+from .prose import fairness_comparison, link_failure_comparison, minloss_comparison
+from .robustness import forecast_error_sweep
+from .report import format_sweep, format_table, format_table1
+from .runner import PAPER_CONFIG, ReplicationConfig
+from .tables import regenerate_table1, table1_agreement
+
+__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments", "run_all"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible artifact: id, description, and regeneration logic."""
+
+    id: str
+    title: str
+    bench: str
+    run: Callable[[ReplicationConfig], str]
+
+
+def _fig2(config: ReplicationConfig) -> str:
+    curves = figure2_protection_levels()
+    loads = curves[2][0]
+    rows = [
+        [int(load)] + [int(curves[h][1][i]) for h in (2, 6, 120)]
+        for i, load in enumerate(loads)
+        if load % 10 == 0
+    ]
+    return "Figure 2: r vs Lambda (C=100)\n" + format_table(
+        ["Lambda", "r(H=2)", "r(H=6)", "r(H=120)"], rows
+    )
+
+
+def _tab1(config: ReplicationConfig) -> str:
+    rows = regenerate_table1()
+    agreement = table1_agreement(rows)
+    return (
+        "Table 1: NSFNet under the calibrated nominal load\n"
+        + format_table1(rows)
+        + f"\nagreement: loads {agreement['load_match_fraction']:.0%}, "
+        f"protection {agreement['protection_match_fraction']:.0%}"
+    )
+
+
+def _fig3(config: ReplicationConfig) -> str:
+    points = quadrangle_sweep(config=config)
+    return format_sweep(points, "Figures 3/4: quadrangle blocking vs per-pair load")
+
+
+def _fig6(config: ReplicationConfig) -> str:
+    points = nsfnet_sweep(config=config)
+    return format_sweep(points, "Figures 6/7: NSFNet blocking vs load (nominal=10), H=11")
+
+
+def _h6(config: ReplicationConfig) -> str:
+    points = nsfnet_sweep(max_hops=6, config=config)
+    return format_sweep(points, "Section 4.2.2: NSFNet with H=6")
+
+
+def _ott_krishnan(config: ReplicationConfig) -> str:
+    points = nsfnet_sweep(
+        load_values=(10.0, 12.0), config=config, include_ott_krishnan=True
+    )
+    return format_sweep(points, "Section 4.2: Ott-Krishnan comparator on NSFNet")
+
+
+def _failures(config: ReplicationConfig) -> str:
+    outcome = link_failure_comparison(config)
+    rows = [
+        [name, stats["single-path"].mean, stats["uncontrolled"].mean,
+         stats["controlled"].mean]
+        for name, stats in outcome.items()
+    ]
+    return "Section 4.2.2: link failures, NSFNet at load 12\n" + format_table(
+        ["scenario", "single-path", "uncontrolled", "controlled"], rows
+    )
+
+
+def _fairness(config: ReplicationConfig) -> str:
+    reports = fairness_comparison(config)
+    rows = [
+        [name, r.mean, r.coefficient_of_variation, r.gini, r.max]
+        for name, r in reports.items()
+    ]
+    return "Section 4.2.2: per-O-D blocking skew, NSFNet H=6, load 11\n" + format_table(
+        ["scheme", "mean", "cov", "gini", "max"], rows
+    )
+
+
+def _minloss(config: ReplicationConfig) -> str:
+    stats, solution = minloss_comparison(config)
+    rows = [[name, stat.mean, stat.half_width] for name, stat in stats.items()]
+    return (
+        "Section 4.2.2: min-link-loss vs min-hop primaries, NSFNet load 11\n"
+        + format_table(["policy", "blocking", "ci"], rows)
+        + f"\nflow deviation: {solution.bifurcated_pairs()} bifurcated pairs, "
+        f"gap {solution.optimality_gap:.3f}"
+    )
+
+
+def _bistability(config: ReplicationConfig) -> str:
+    from ..analysis.bistability import find_fixed_points
+    from ..core.protection import min_protection_level
+
+    rows = []
+    for load in (90.0, 96.0, 100.0, 104.0, 108.0):
+        unprotected = find_fixed_points(load, 120, 0, max_attempts=5)
+        level = min_protection_level(load, 120, 2)
+        protected = find_fixed_points(load, 120, level, max_attempts=5)
+        rows.append(
+            [load, len(unprotected), unprotected[-1].blocking, level,
+             protected[-1].blocking]
+        )
+    return (
+        "Mean-field bistability, C=120, 5 alternate attempts\n"
+        + format_table(["load", "#fp(r=0)", "worst B(r=0)", "r(Eq15)", "B(r)"], rows)
+    )
+
+
+def _ablation_r(config: ReplicationConfig) -> str:
+    from ..topology.nsfnet import nsfnet_backbone
+    from ..topology.paths import build_path_table
+    from ..traffic.calibration import nsfnet_nominal_traffic
+    from .ablations import protection_sensitivity
+
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    traffic = nsfnet_nominal_traffic().scaled(1.2)
+    outcome = protection_sensitivity(
+        network, table, traffic, offsets=(-100, -2, 0, 2, 4), config=config
+    )
+    rows = [[offset, stat.mean, stat.half_width] for offset, stat in outcome.items()]
+    return "Ablation: protection-level offsets, NSFNet load 12\n" + format_table(
+        ["r offset", "blocking", "ci"], rows
+    )
+
+
+def _ablation_estimator(config: ReplicationConfig) -> str:
+    from ..topology.nsfnet import nsfnet_backbone
+    from ..topology.paths import build_path_table
+    from ..traffic.calibration import nsfnet_nominal_traffic
+    from .ablations import estimator_ablation
+
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    traffic = nsfnet_nominal_traffic().scaled(1.1)
+    outcome = estimator_ablation(network, table, traffic, config=config)
+    rows = [
+        ["known", outcome["known"].mean, outcome["known"].half_width],
+        ["estimated", outcome["estimated"].mean, outcome["estimated"].half_width],
+    ]
+    return (
+        "Ablation: known vs estimated primary loads, NSFNet load 11\n"
+        + format_table(["variant", "blocking", "ci"], rows)
+        + f"\nmax load error {outcome['max_load_error']:.2f} E, "
+        f"max protection gap {outcome['max_protection_gap']}"
+    )
+
+
+def _optimal_r(config: ReplicationConfig) -> str:
+    from ..topology.generators import quadrangle
+    from ..topology.paths import build_path_table
+    from ..traffic.generators import uniform_traffic
+
+    network = quadrangle(100)
+    table = build_path_table(network)
+    sections = []
+    for per_pair in (90.0, 95.0):
+        result = empirical_optimal_reservation(
+            network, table, uniform_traffic(4, per_pair),
+            (0, 2, 4, 6, 8, 11, 15, 25, 100), config,
+        )
+        rows = [[r, s.mean] for r, s in sorted(result["sweep"].items())]
+        sections.append(
+            f"Uniform reservation sweep, quadrangle {per_pair:g} E\n"
+            + format_table(["r", "blocking"], rows)
+            + f"\nbest r = {result['best_r']}, Eq-15 r = {result['equation15_r']}, "
+            f"penalty = {result['penalty']:.4f}"
+        )
+    return "\n\n".join(sections)
+
+
+def _robustness(config: ReplicationConfig) -> str:
+    from ..topology.nsfnet import nsfnet_backbone
+    from ..topology.paths import build_path_table
+    from ..traffic.calibration import nsfnet_nominal_traffic
+
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    outcome = forecast_error_sweep(
+        network, table, nsfnet_nominal_traffic(), sigmas=(0.0, 0.5, 1.0), config=config
+    )
+    rows = [
+        [sigma, stats["single-path"].mean, stats["uncontrolled"].mean,
+         stats["controlled"].mean]
+        for sigma, stats in outcome.items()
+    ]
+    return "Forecast-error sweep, NSFNet engineered for nominal\n" + format_table(
+        ["sigma", "single-path", "uncontrolled", "controlled"], rows
+    )
+
+
+def _general_mesh(config: ReplicationConfig) -> str:
+    outcome = general_mesh_comparison(config)
+    rows = [
+        [name, stats["single-path"].mean, stats["uncontrolled"].mean,
+         stats["controlled"].mean]
+        for name, stats in outcome.items()
+    ]
+    return "General meshes, gravity demand\n" + format_table(
+        ["mesh", "single-path", "uncontrolled", "controlled"], rows
+    )
+
+
+EXPERIMENTS: dict[str, Experiment] = {
+    experiment.id: experiment
+    for experiment in (
+        Experiment("FIG2", "protection level vs primary load",
+                   "bench_fig2_protection_levels.py", _fig2),
+        Experiment("TAB1", "NSFNet loads and protection levels",
+                   "bench_table1_protection_levels.py", _tab1),
+        Experiment("FIG3", "quadrangle blocking sweep (also Figure 4)",
+                   "bench_fig3_quadrangle.py", _fig3),
+        Experiment("FIG6", "NSFNet blocking sweep, H=11 (also Figure 7)",
+                   "bench_fig6_nsfnet.py", _fig6),
+        Experiment("EXP-H6", "NSFNet blocking sweep, H=6",
+                   "bench_h6_restriction.py", _h6),
+        Experiment("EXP-OK", "Ott-Krishnan shadow-price comparator",
+                   "bench_ott_krishnan.py", _ott_krishnan),
+        Experiment("EXP-FAIL", "link failures preserve the ordering",
+                   "bench_link_failures.py", _failures),
+        Experiment("EXP-FAIR", "per-O-D blocking skew",
+                   "bench_fairness_skew.py", _fairness),
+        Experiment("EXP-MINLOSS", "min-link-loss primary paths",
+                   "bench_minloss_primaries.py", _minloss),
+        Experiment("EXT-BIST", "mean-field bistability analysis",
+                   "bench_bistability.py", _bistability),
+        Experiment("ABL-R", "protection-level robustness",
+                   "bench_ablation_r_sensitivity.py", _ablation_r),
+        Experiment("ABL-EST", "known vs estimated primary loads",
+                   "bench_ablation_estimator.py", _ablation_estimator),
+        Experiment("EXP-MG-SIM", "Equation 15 vs empirical optimal reservation",
+                   "bench_optimal_reservation.py", _optimal_r),
+        Experiment("EXP-ROBUST", "insensitivity to traffic-forecast error",
+                   "bench_forecast_robustness.py", _robustness),
+        Experiment("EXT-GEN", "general-mesh generality check",
+                   "bench_general_mesh.py", _general_mesh),
+    )
+}
+
+
+def list_experiments() -> str:
+    """One line per registered experiment."""
+    rows = [
+        [experiment.id, experiment.title, experiment.bench]
+        for experiment in EXPERIMENTS.values()
+    ]
+    return format_table(["id", "title", "benchmark"], rows)
+
+
+def run_experiment(
+    experiment_id: str, config: ReplicationConfig = PAPER_CONFIG
+) -> str:
+    """Regenerate one experiment and return its printable report."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[key].run(config)
+
+
+def run_all(config: ReplicationConfig = PAPER_CONFIG) -> str:
+    """Regenerate every registered experiment into one markdown report."""
+    sections = [
+        "# Regenerated paper artifacts",
+        "",
+        f"Replications: {len(config.seeds)} seeds x "
+        f"{config.measured_duration:g} measured time units "
+        f"(+{config.warmup:g} warm-up).",
+        "",
+    ]
+    for experiment in EXPERIMENTS.values():
+        sections.append(f"## {experiment.id} — {experiment.title}")
+        sections.append("")
+        sections.append("```")
+        sections.append(experiment.run(config))
+        sections.append("```")
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,89 @@
+"""Plain-text rendering of experiment outputs.
+
+The repository regenerates the paper's tables and figure series as data;
+these helpers format them as aligned text tables for benchmark output,
+examples and the CLI.  No plotting dependency is used anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..sim.metrics import SweepStatistic
+from .runner import SweepPoint
+from .tables import Table1Row
+
+__all__ = ["format_table", "format_sweep", "format_table1"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align ``rows`` under ``headers``; numbers are rendered compactly."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) < 0.01:
+                return f"{value:.2e}"
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in text_rows)) if text_rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(value.rjust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _stat_cell(stat: SweepStatistic) -> str:
+    if stat.half_width > 0:
+        return f"{stat.mean:.4f}±{stat.half_width:.4f}"
+    return f"{stat.mean:.4f}"
+
+
+def format_sweep(points: Sequence[SweepPoint], title: str = "") -> str:
+    """Render a load sweep as one row per load point, one column per scheme."""
+    if not points:
+        return "(empty sweep)"
+    schemes = list(points[0].blocking)
+    headers = ["load"] + schemes
+    if any(point.erlang_bound is not None for point in points):
+        headers.append("erlang-bound")
+    rows = []
+    for point in points:
+        row: list[object] = [point.load]
+        row.extend(_stat_cell(point.blocking[s]) for s in schemes)
+        if "erlang-bound" in headers:
+            row.append(point.erlang_bound if point.erlang_bound is not None else "")
+        rows.append(row)
+    table = format_table(headers, rows)
+    return f"{title}\n{table}" if title else table
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Render the regenerated Table 1 with paper columns for comparison."""
+    headers = [
+        "link", "C", "Lambda", "paper-Lambda",
+        "r(H=6)", "paper", "r(H=11)", "paper",
+    ]
+    body = [
+        [
+            f"{row.link[0]}->{row.link[1]}",
+            row.capacity,
+            f"{row.load:.1f}",
+            row.paper_load,
+            row.r_h6,
+            row.paper_r_h6,
+            row.r_h11,
+            row.paper_r_h11,
+        ]
+        for row in rows
+    ]
+    return format_table(headers, body)

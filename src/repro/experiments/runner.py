@@ -1,0 +1,132 @@
+"""Experiment orchestration: replications, policy comparisons, load sweeps.
+
+The paper's methodology (Section 4): call-by-call simulation for 100 time
+units after a 10-unit warm-up from an idle network, repeated for 10 seeds
+per traffic matrix, with every algorithm replaying identical arrivals and
+holding times.  :class:`ReplicationConfig` captures those knobs (defaults
+are the paper's); the helpers run one policy or a labelled set of policies
+over the shared traces and aggregate network blocking across seeds.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..routing.base import RoutingPolicy
+from ..sim.metrics import SimulationResult, SweepStatistic, aggregate
+from ..sim.simulator import simulate
+from ..sim.trace import ArrivalTrace, generate_trace
+from ..topology.graph import Network
+from ..traffic.matrix import TrafficMatrix
+
+__all__ = ["ReplicationConfig", "PAPER_CONFIG", "run_replications", "compare_policies"]
+
+
+def _replication_worker(payload) -> SimulationResult:
+    """Run one seed in a worker process (module-level for picklability)."""
+    network, policy, traffic, duration, warmup, seed = payload
+    trace = generate_trace(traffic, duration, seed)
+    return simulate(network, policy, trace, warmup)
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Replication parameters; defaults reproduce the paper's setup."""
+
+    measured_duration: float = 100.0
+    warmup: float = 10.0
+    seeds: tuple[int, ...] = tuple(range(10))
+
+    @property
+    def duration(self) -> float:
+        """Total simulated time, warm-up included."""
+        return self.measured_duration + self.warmup
+
+    def scaled(self, duration_factor: float = 1.0, num_seeds: int | None = None) -> "ReplicationConfig":
+        """A cheaper (or heavier) variant for quick runs and benchmarks."""
+        seeds = self.seeds if num_seeds is None else tuple(range(num_seeds))
+        return ReplicationConfig(
+            measured_duration=self.measured_duration * duration_factor,
+            warmup=self.warmup,
+            seeds=seeds,
+        )
+
+
+PAPER_CONFIG = ReplicationConfig()
+
+
+def run_replications(
+    network: Network,
+    policy: RoutingPolicy,
+    traffic: TrafficMatrix,
+    config: ReplicationConfig = PAPER_CONFIG,
+    traces: Sequence[ArrivalTrace] | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> tuple[SweepStatistic, list[SimulationResult]]:
+    """Run one policy over all seeds; returns aggregate blocking + raw results.
+
+    Pre-generated ``traces`` may be passed to share them across policies
+    (``compare_policies`` does); otherwise they are generated per seed.
+    ``parallel=True`` fans the seeds out over a process pool — results are
+    bit-identical to the serial path (each seed is fully self-contained);
+    worth it for paper-fidelity sweeps, overkill for quick runs.
+    """
+    if parallel and traces is None:
+        payloads = [
+            (network, policy, traffic, config.duration, config.warmup, seed)
+            for seed in config.seeds
+        ]
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            results = list(pool.map(_replication_worker, payloads))
+    else:
+        if traces is None:
+            traces = [
+                generate_trace(traffic, config.duration, seed) for seed in config.seeds
+            ]
+        results = [simulate(network, policy, trace, config.warmup) for trace in traces]
+    stat = aggregate([result.network_blocking for result in results])
+    return stat, results
+
+
+def compare_policies(
+    network: Network,
+    policies: Mapping[str, RoutingPolicy],
+    traffic: TrafficMatrix,
+    config: ReplicationConfig = PAPER_CONFIG,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> dict[str, SweepStatistic]:
+    """Run several policies on *identical* traces and aggregate each.
+
+    This is the paper's common-random-numbers comparison: differences
+    between policies reflect routing decisions only, never sampling noise in
+    the arrival processes.  ``parallel=True`` fans seeds over a process pool
+    per policy; trace generation is deterministic per seed, so the common-
+    random-numbers discipline is preserved (workers rebuild the same traces).
+    """
+    comparison: dict[str, SweepStatistic] = {}
+    if parallel:
+        for label, policy in policies.items():
+            stat, __ = run_replications(
+                network, policy, traffic, config,
+                parallel=True, max_workers=max_workers,
+            )
+            comparison[label] = stat
+        return comparison
+    traces = [generate_trace(traffic, config.duration, seed) for seed in config.seeds]
+    for label, policy in policies.items():
+        stat, __ = run_replications(network, policy, traffic, config, traces=traces)
+        comparison[label] = stat
+    return comparison
+
+
+@dataclass
+class SweepPoint:
+    """One load point of a sweep: the x-value plus per-policy statistics."""
+
+    load: float
+    blocking: dict[str, SweepStatistic] = field(default_factory=dict)
+    erlang_bound: float | None = None

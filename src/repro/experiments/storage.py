@@ -1,0 +1,105 @@
+"""JSON persistence for experiment outputs.
+
+Sweeps take minutes at paper fidelity; persisting them lets the CLI and
+notebooks regenerate reports without re-simulating.  The format is plain
+JSON — one document per sweep — with enough metadata (schema version,
+config) to refuse incompatible files instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..sim.metrics import SweepStatistic
+from .runner import ReplicationConfig, SweepPoint
+
+__all__ = ["save_sweep", "load_sweep"]
+
+_SCHEMA = "repro-sweep-v1"
+
+
+def _statistic_to_dict(stat: SweepStatistic) -> dict:
+    return {
+        "mean": stat.mean,
+        "std": stat.std,
+        "half_width": stat.half_width,
+        "num_runs": stat.num_runs,
+        "values": list(stat.values),
+    }
+
+
+def _statistic_from_dict(data: dict) -> SweepStatistic:
+    return SweepStatistic(
+        mean=float(data["mean"]),
+        std=float(data["std"]),
+        half_width=float(data["half_width"]),
+        num_runs=int(data["num_runs"]),
+        values=tuple(float(v) for v in data.get("values", ())),
+    )
+
+
+def save_sweep(
+    path: str | Path,
+    points: Sequence[SweepPoint],
+    config: ReplicationConfig | None = None,
+    title: str = "",
+) -> None:
+    """Write a sweep to ``path`` as JSON (parents must exist)."""
+    document = {
+        "schema": _SCHEMA,
+        "title": title,
+        "config": None
+        if config is None
+        else {
+            "measured_duration": config.measured_duration,
+            "warmup": config.warmup,
+            "seeds": list(config.seeds),
+        },
+        "points": [
+            {
+                "load": point.load,
+                "erlang_bound": point.erlang_bound,
+                "blocking": {
+                    name: _statistic_to_dict(stat)
+                    for name, stat in point.blocking.items()
+                },
+            }
+            for point in points
+        ],
+    }
+    Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def load_sweep(path: str | Path) -> tuple[list[SweepPoint], ReplicationConfig | None, str]:
+    """Read a sweep written by :func:`save_sweep`.
+
+    Returns ``(points, config, title)``; the config is ``None`` when the
+    file was saved without one.  Raises ``ValueError`` on schema mismatch.
+    """
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"unrecognized sweep file schema {document.get('schema')!r}; "
+            f"expected {_SCHEMA!r}"
+        )
+    points = []
+    for entry in document["points"]:
+        point = SweepPoint(load=float(entry["load"]))
+        bound = entry.get("erlang_bound")
+        point.erlang_bound = None if bound is None else float(bound)
+        point.blocking = {
+            name: _statistic_from_dict(stat)
+            for name, stat in entry["blocking"].items()
+        }
+        points.append(point)
+    config = None
+    if document.get("config"):
+        raw = document["config"]
+        config = ReplicationConfig(
+            measured_duration=float(raw["measured_duration"]),
+            warmup=float(raw["warmup"]),
+            seeds=tuple(int(s) for s in raw["seeds"]),
+        )
+    return points, config, str(document.get("title", ""))

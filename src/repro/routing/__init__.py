@@ -1,0 +1,40 @@
+"""Routing policies: single-path, alternate (controlled/uncontrolled), shadow-price."""
+
+from .alternate import (
+    ControlledAlternateRouting,
+    LengthAdaptiveControlledRouting,
+    UncontrolledAlternateRouting,
+    per_link_max_hops,
+)
+from .adaptive import (
+    AdaptiveProtectionSimulator,
+    ThresholdUpdate,
+    simulate_adaptive,
+)
+from .base import RouteChoice, RoutingPolicy, compile_route_choices
+from .estimator import EwmaRateEstimator, estimate_loads_from_trace
+from .least_busy import LeastBusyAlternateRouting
+from .minloss import MinLossSolution, optimize_primary_flows
+from .shadow import OttKrishnanRouting, link_shadow_prices
+from .single_path import SinglePathRouting
+
+__all__ = [
+    "RouteChoice",
+    "RoutingPolicy",
+    "compile_route_choices",
+    "SinglePathRouting",
+    "UncontrolledAlternateRouting",
+    "ControlledAlternateRouting",
+    "LengthAdaptiveControlledRouting",
+    "per_link_max_hops",
+    "AdaptiveProtectionSimulator",
+    "ThresholdUpdate",
+    "simulate_adaptive",
+    "LeastBusyAlternateRouting",
+    "OttKrishnanRouting",
+    "link_shadow_prices",
+    "MinLossSolution",
+    "optimize_primary_flows",
+    "EwmaRateEstimator",
+    "estimate_loads_from_trace",
+]

@@ -1,0 +1,39 @@
+"""Single-path (pure state-independent) routing.
+
+The paper's baseline: a call may complete on its primary path alone — no
+alternate is ever tried.  "Single-path" is loose in the paper's sense: with
+bifurcated primaries the route is still chosen with some probability among a
+suite, independent of state, and only that chosen route is attempted.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..topology.graph import Network
+from ..topology.paths import Path, PathTable
+from .base import RoutingPolicy, compile_route_choices
+
+__all__ = ["SinglePathRouting"]
+
+
+class SinglePathRouting(RoutingPolicy):
+    """Admit a call iff its (state-independently chosen) primary has room."""
+
+    name = "single-path"
+    discipline = "threshold"
+
+    def __init__(
+        self,
+        network: Network,
+        table: PathTable,
+        splits: Mapping[tuple[int, int], Sequence[tuple[Path, float]]] | None = None,
+    ):
+        choices, cum_probs = compile_route_choices(
+            network, table, include_alternates=False, splits=splits
+        )
+        super().__init__(network, choices, cum_probs)
+        # No alternates exist, but the simulator still wants an array.
+        self.alt_thresholds = np.zeros(network.num_links, dtype=np.int64)

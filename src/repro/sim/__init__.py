@@ -1,0 +1,34 @@
+"""Simulation substrate: traces, the loss-network simulator, metrics, failures."""
+
+from .engine import EventQueue
+from .failures import FailedNetwork, FailureScenario, apply_failures
+from .metrics import SimulationResult, SweepStatistic, aggregate
+from .rng import substream
+from .signaling import (
+    SignalingConfig,
+    SignalingSimulator,
+    SignalingStats,
+    simulate_signaling,
+)
+from .simulator import LossNetworkSimulator, simulate
+from .trace import ArrivalTrace, generate_multiclass_trace, generate_trace
+
+__all__ = [
+    "EventQueue",
+    "FailureScenario",
+    "FailedNetwork",
+    "apply_failures",
+    "SimulationResult",
+    "SweepStatistic",
+    "aggregate",
+    "substream",
+    "LossNetworkSimulator",
+    "simulate",
+    "SignalingConfig",
+    "SignalingSimulator",
+    "SignalingStats",
+    "simulate_signaling",
+    "ArrivalTrace",
+    "generate_trace",
+    "generate_multiclass_trace",
+]

@@ -1,0 +1,87 @@
+"""A small general-purpose discrete-event engine.
+
+The hot loss-network loop in :mod:`repro.sim.simulator` inlines its own event
+handling for speed; this engine serves the extension subsystems (the cellular
+channel-borrowing model, the online load estimator) where flexibility beats
+raw throughput.  Events are ``(time, sequence, callback, payload)`` tuples in
+a binary heap; the monotone sequence number makes simultaneous events fire in
+scheduling order, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """A deterministic discrete-event queue.
+
+    Schedule callbacks with :meth:`schedule`, then :meth:`run` until a time
+    horizon or until the queue drains.  Callbacks receive
+    ``(queue, payload)`` and may schedule further events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[["EventQueue", Any], None], Any]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self,
+        when: float,
+        callback: Callable[["EventQueue", Any], None],
+        payload: Any = None,
+    ) -> None:
+        """Schedule ``callback(queue, payload)`` at absolute time ``when``."""
+        if when < self._now:
+            raise ValueError(f"cannot schedule at {when} before current time {self._now}")
+        heapq.heappush(self._heap, (when, self._sequence, callback, payload))
+        self._sequence += 1
+
+    def schedule_in(
+        self,
+        delay: float,
+        callback: Callable[["EventQueue", Any], None],
+        payload: Any = None,
+    ) -> None:
+        """Schedule ``callback`` after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule(self._now + delay, callback, payload)
+
+    def run(self, until: float | None = None) -> int:
+        """Process events in time order; returns the number processed.
+
+        With ``until`` set, events strictly after it stay queued and the
+        clock advances exactly to ``until``.
+        """
+        if self._running:
+            raise RuntimeError("EventQueue.run is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                when, __, callback, payload = self._heap[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = when
+                callback(self, payload)
+                processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return processed

@@ -1,0 +1,73 @@
+"""Link-failure scenarios (Section 4.2.2, "Link failures").
+
+The paper disables the duplex links ``2<->3`` and, separately, ``7<->9`` in
+the NSFNet model and observes that blocking rises but the *relative ordering*
+of single-path, uncontrolled and controlled alternate routing is preserved.
+
+A failure scenario is applied by copying the network, failing the links, and
+rebuilding everything derived from topology — path tables, primary loads and
+protection levels all change when links disappear, exactly as the paper notes
+("topology changes ... influence the computation of the state-protection
+level only insofar as it influences the primary traffic demand").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..topology.graph import Network
+from ..topology.paths import PathTable, build_path_table
+from ..traffic.matrix import TrafficMatrix
+
+__all__ = ["FailureScenario", "apply_failures"]
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of duplex links to take out of service."""
+
+    duplex_links: tuple[tuple[int, int], ...]
+    name: str = ""
+
+    def describe(self) -> str:
+        label = self.name or "failure"
+        pairs = ", ".join(f"{a}<->{b}" for a, b in self.duplex_links)
+        return f"{label}: {pairs}" if pairs else f"{label}: none"
+
+
+@dataclass(frozen=True)
+class FailedNetwork:
+    """A failure-adjusted network with its re-derived routing inputs."""
+
+    network: Network
+    table: PathTable
+    primary_loads: np.ndarray
+    scenario: FailureScenario
+
+
+def apply_failures(
+    network: Network,
+    traffic: TrafficMatrix,
+    scenario: FailureScenario,
+    max_hops: int | None = None,
+) -> FailedNetwork:
+    """Copy ``network``, fail the scenario's links, re-derive routing inputs.
+
+    Traffic whose O-D pair becomes disconnected keeps its demand (those calls
+    will all block); pairs merely rerouted contribute their demand to the new
+    primary paths' loads.
+    """
+    failed = network.copy()
+    for a, b in scenario.duplex_links:
+        failed.fail_duplex_link(a, b)
+    table = build_path_table(failed, max_hops=max_hops)
+    loads = np.zeros(failed.num_links, dtype=float)
+    for od, demand in traffic.positive_pairs():
+        path = table.primary.get(od)
+        if path is None:
+            continue  # disconnected pair: no primary load anywhere
+        for link_index in failed.path_links(path):
+            loads[link_index] += demand
+    return FailedNetwork(network=failed, table=table, primary_loads=loads, scenario=scenario)

@@ -1,0 +1,135 @@
+"""Simulation metrics: blocking statistics and multi-seed aggregation.
+
+The paper's headline metric is the *average network blocking*: the fraction
+of calls (after warm-up) that completed on no path at all.  Section 4.2.2
+additionally studies blocking skewness across O-D pairs.  Results carry
+per-pair offered/blocked counts plus routing-mix counters (how many calls
+completed on their primary vs an alternate), and :class:`SweepStatistic`
+aggregates replications into mean and confidence half-width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SimulationResult", "SweepStatistic", "aggregate"]
+
+
+@dataclass
+class SimulationResult:
+    """Counts from one simulation run, restricted to the measured window.
+
+    ``offered[p]`` and ``blocked[p]`` count calls of O-D pair index ``p``
+    (indexing matches the trace's ``od_pairs``).  ``primary_carried`` and
+    ``alternate_carried`` split the accepted calls by the tier that carried
+    them.
+    """
+
+    od_pairs: tuple[tuple[int, int], ...]
+    offered: np.ndarray
+    blocked: np.ndarray
+    primary_carried: int
+    alternate_carried: int
+    warmup: float
+    duration: float
+    seed: int
+    class_names: tuple[str, ...] = ()
+    class_offered: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    class_blocked: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def total_offered(self) -> int:
+        return int(self.offered.sum())
+
+    @property
+    def total_blocked(self) -> int:
+        return int(self.blocked.sum())
+
+    @property
+    def network_blocking(self) -> float:
+        """Fraction of measured calls blocked on every permitted path."""
+        offered = self.total_offered
+        if offered == 0:
+            return 0.0
+        return self.total_blocked / offered
+
+    @property
+    def alternate_fraction(self) -> float:
+        """Fraction of carried calls that used an alternate path."""
+        carried = self.primary_carried + self.alternate_carried
+        if carried == 0:
+            return 0.0
+        return self.alternate_carried / carried
+
+    def pair_blocking(self) -> dict[tuple[int, int], float]:
+        """Per-O-D blocking probabilities (pairs with no offered calls omitted)."""
+        result: dict[tuple[int, int], float] = {}
+        for index, od in enumerate(self.od_pairs):
+            if self.offered[index] > 0:
+                result[od] = float(self.blocked[index] / self.offered[index])
+        return result
+
+    def class_blocking(self) -> dict[str, float]:
+        """Per-class blocking (multi-class runs; unoffered classes omitted)."""
+        result: dict[str, float] = {}
+        for index, name in enumerate(self.class_names):
+            if self.class_offered[index] > 0:
+                result[name] = float(
+                    self.class_blocked[index] / self.class_offered[index]
+                )
+        return result
+
+
+@dataclass(frozen=True)
+class SweepStatistic:
+    """Mean and spread of a scalar metric over independent replications."""
+
+    mean: float
+    std: float
+    half_width: float
+    num_runs: int
+    values: tuple[float, ...] = field(repr=False, default=())
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+
+# Two-sided 95% Student-t quantiles for small sample sizes; beyond the table
+# the normal value is close enough.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447, 7: 2.365,
+    8: 2.306, 9: 2.262, 10: 2.228, 11: 2.201, 12: 2.179, 13: 2.160,
+    14: 2.145, 15: 2.131, 20: 2.086, 25: 2.060, 30: 2.042,
+}
+
+
+def _t_quantile(dof: int) -> float:
+    if dof <= 0:
+        return 0.0
+    if dof in _T_95:
+        return _T_95[dof]
+    for key in sorted(_T_95):
+        if key >= dof:
+            return _T_95[key]
+    return 1.96
+
+
+def aggregate(values: Sequence[float]) -> SweepStatistic:
+    """Combine replication values into mean / std / 95% half-width."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot aggregate zero replications")
+    mean = float(data.mean())
+    if data.size == 1:
+        return SweepStatistic(mean, 0.0, 0.0, 1, tuple(data.tolist()))
+    std = float(data.std(ddof=1))
+    half = _t_quantile(data.size - 1) * std / float(np.sqrt(data.size))
+    return SweepStatistic(mean, std, half, int(data.size), tuple(data.tolist()))

@@ -1,0 +1,33 @@
+"""Reproducible random-stream management.
+
+Every stochastic component draws from a named substream spawned off a root
+seed, so (a) runs are exactly reproducible, and (b) adding a new consumer of
+randomness never perturbs existing streams — which is what makes the
+common-random-number comparisons across routing policies honest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["substream"]
+
+
+def substream(seed: int, *keys: object) -> np.random.Generator:
+    """A generator for the substream identified by ``keys`` under ``seed``.
+
+    Keys may be strings or integers; strings are folded to stable integers
+    (Python's ``hash`` is salted per process, so we fold bytes explicitly).
+    """
+    words: list[int] = [int(seed)]
+    for key in keys:
+        if isinstance(key, (int, np.integer)):
+            words.append(int(key))
+        elif isinstance(key, str):
+            folded = 0
+            for byte in key.encode("utf-8"):
+                folded = (folded * 131 + byte) % (2**32)
+            words.append(folded)
+        else:
+            raise TypeError(f"stream keys must be int or str, got {type(key)!r}")
+    return np.random.default_rng(np.random.SeedSequence(words))

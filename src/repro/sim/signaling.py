@@ -1,0 +1,302 @@
+"""Packet-level call-setup signaling (Section 1's protocol, message by message).
+
+The paper describes its set-up mechanics concretely: "A call set-up packet
+containing the origin and destination node addresses, the flow-rate desired,
+and a primary call flag which is set, zips along the primary path checking
+to see whether sufficient resources exist on each link of the primary path.
+If they do, resources are booked on its way back, and the call commences.
+If resources are not available on the primary path, alternate paths are
+successively attempted by call set-ups (whose primary path flags are
+reset)."
+
+The flow-level simulator (:mod:`repro.sim.simulator`) abstracts this into an
+instantaneous atomic admission decision.  This module implements the actual
+distributed protocol over the event queue, with per-link propagation delay:
+
+* **SETUP** travels forward, *checking* (not reserving) each link's
+  admission rule — capacity for primary-flagged set-ups, the state-
+  protection threshold for alternates;
+* on a failed check the set-up **cranks back**: a failure notice returns to
+  the origin, which tries the next route in its list;
+* at the destination a **CONFIRM** retraces the route, *booking* one
+  circuit per link on the way back; because checking and booking are
+  separated by propagation time, a booking can find the circuit gone — a
+  **race abort** — which releases the partial bookings and cranks back;
+* the origin starts the call when the CONFIRM arrives and, at the end of
+  the holding time, sends a **TEARDOWN** forward that releases each link.
+
+With zero propagation delay the protocol collapses to the flow simulator's
+atomic decisions — the test suite asserts pathwise equivalence — and with
+positive delay it measures what the abstraction hides: set-up latency and
+race aborts.  (Per the paper's footnote 2, signaling bandwidth itself is
+assumed reserved and is not modelled.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.base import RouteChoice, RoutingPolicy
+from ..topology.graph import Network
+from .engine import EventQueue
+from .metrics import SimulationResult
+from .trace import ArrivalTrace
+
+__all__ = ["SignalingConfig", "SignalingStats", "SignalingSimulator", "simulate_signaling"]
+
+
+@dataclass(frozen=True)
+class SignalingConfig:
+    """Timing model for the signaling plane.
+
+    ``propagation_delay`` is the one-way per-hop delay for any signaling
+    message, in call-holding-time units (the paper's unit of time).  A
+    typical long-haul hop at ~10 ms against minutes-long calls is ~1e-4.
+    """
+
+    propagation_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+
+
+@dataclass
+class SignalingStats:
+    """Protocol-level counters accumulated over a run (measured window only)."""
+
+    setups_sent: int = 0
+    crankbacks: int = 0
+    race_aborts: int = 0
+    established: int = 0
+    setup_latency_sum: float = 0.0
+
+    @property
+    def mean_setup_latency(self) -> float:
+        if self.established == 0:
+            return 0.0
+        return self.setup_latency_sum / self.established
+
+
+@dataclass
+class _PendingCall:
+    """Origin-side state of one call working through its route list."""
+
+    pair_index: int
+    arrival_time: float
+    holding_time: float
+    choice: RouteChoice
+    next_route: int = 0  # 0 = primary, k >= 1 = alternates[k - 1]
+    measured: bool = False
+
+    def route(self) -> tuple[int, ...] | None:
+        if self.next_route == 0:
+            return self.choice.primary
+        index = self.next_route - 1
+        if index < len(self.choice.alternates):
+            return self.choice.alternates[index]
+        return None
+
+    @property
+    def is_primary_attempt(self) -> bool:
+        return self.next_route == 0
+
+
+class SignalingSimulator:
+    """Distributed set-up/confirm/teardown signaling over a threshold policy.
+
+    Consumes the same :class:`ArrivalTrace` and threshold-discipline
+    :class:`RoutingPolicy` as the flow simulator, so results are directly
+    comparable under common random numbers.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        policy: RoutingPolicy,
+        trace: ArrivalTrace,
+        warmup: float = 10.0,
+        config: SignalingConfig = SignalingConfig(),
+    ):
+        if policy.discipline != "threshold":
+            raise ValueError("signaling simulation supports threshold policies only")
+        if policy.alt_thresholds is None:
+            raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+        if warmup < 0 or warmup >= trace.duration:
+            raise ValueError("warmup must lie in [0, duration)")
+        if trace.is_multiclass:
+            raise ValueError("signaling simulation supports unit-bandwidth traces only")
+        self.network = network
+        self.policy = policy
+        self.trace = trace
+        self.warmup = float(warmup)
+        self.config = config
+        self.stats = SignalingStats()
+
+    # The protocol below keeps one authoritative occupancy counter per link,
+    # held (conceptually) by the link's upstream node: only that node checks
+    # and books the link, so there is no multi-writer inconsistency — but
+    # checking (SETUP) and booking (CONFIRM) are separated in time, hence
+    # the race-abort path.
+
+    def run(self) -> SimulationResult:
+        network = self.network
+        trace = self.trace
+        capacities = [int(c) for c in network.capacities()]
+        thresholds = [int(t) for t in self.policy.alt_thresholds]
+        occupancy = [0] * network.num_links
+        delay = self.config.propagation_delay
+
+        num_pairs = len(trace.od_pairs)
+        offered = [0] * num_pairs
+        blocked = [0] * num_pairs
+        primary_carried = 0
+        alternate_carried = 0
+        stats = self.stats
+        warmup = self.warmup
+
+        queue = EventQueue()
+        policy = self.policy
+
+        def limit_for(call: _PendingCall, link: int) -> int:
+            return capacities[link] if call.is_primary_attempt else thresholds[link]
+
+        def start_attempt(q: EventQueue, call: _PendingCall) -> None:
+            route = call.route()
+            if route is None:
+                if call.measured:
+                    blocked[call.pair_index] += 1
+                return
+            if call.measured:
+                stats.setups_sent += 1
+            # Forward pass: the set-up reaches hop k at now + k * delay and
+            # checks that hop's link.
+            advance_setup(q, (call, route, 0))
+
+        def advance_setup(q: EventQueue, payload) -> None:
+            call, route, hop = payload
+            if hop == len(route):
+                # Destination reached: CONFIRM retraces, booking backwards.
+                advance_confirm(q, (call, route, len(route) - 1))
+                return
+            link = route[hop]
+            if occupancy[link] + 1 > limit_for(call, link):
+                # Crankback: the failure notice needs hop+1 hops home... the
+                # origin simply moves on when it hears, after the round trip.
+                if call.measured:
+                    stats.crankbacks += 1
+                call.next_route += 1
+                q.schedule_in((hop + 1) * delay if delay else 0.0, retry, call)
+                return
+            q.schedule_in(delay, advance_setup, (call, route, hop + 1))
+
+        def retry(q: EventQueue, call: _PendingCall) -> None:
+            start_attempt(q, call)
+
+        def advance_confirm(q: EventQueue, payload) -> None:
+            call, route, hop = payload
+            if hop < 0:
+                # Confirm reached the origin: the call is up.
+                if call.measured:
+                    stats.established += 1
+                    stats.setup_latency_sum += q.now - call.arrival_time
+                    nonlocal primary_carried, alternate_carried
+                    if call.is_primary_attempt:
+                        primary_carried += 1
+                    else:
+                        alternate_carried += 1
+                q.schedule_in(call.holding_time, start_teardown, route)
+                return
+            link = route[hop]
+            if occupancy[link] + 1 > limit_for(call, link):
+                # The circuit vanished between check and booking: race abort.
+                if call.measured:
+                    stats.race_aborts += 1
+                call.next_route += 1
+                release_and_retry(q, (call, route, hop + 1))
+                return
+            occupancy[link] += 1
+            q.schedule_in(delay, advance_confirm, (call, route, hop - 1))
+
+        def release_and_retry(q: EventQueue, payload) -> None:
+            call, route, hop = payload
+            if hop == len(route):
+                q.schedule_in(0.0, retry, call)
+                return
+            occupancy[route[hop]] -= 1
+            q.schedule_in(delay, release_and_retry, (call, route, hop + 1))
+
+        def start_teardown(q: EventQueue, route: tuple[int, ...]) -> None:
+            advance_teardown(q, (route, 0))
+
+        def advance_teardown(q: EventQueue, payload) -> None:
+            route, hop = payload
+            if hop == len(route):
+                return
+            occupancy[route[hop]] -= 1
+            q.schedule_in(delay, advance_teardown, (route, hop + 1))
+
+        def arrival(q: EventQueue, payload) -> None:
+            pair, holding, uniform = payload
+            measured = q.now >= warmup
+            if measured:
+                offered[pair] += 1
+            od = trace.od_pairs[pair]
+            options = policy.choices.get(od, ())
+            if not options:
+                if measured:
+                    blocked[pair] += 1
+                return
+            choice = (
+                options[0]
+                if len(options) == 1
+                else policy.select_choice(od, uniform)
+            )
+            call = _PendingCall(
+                pair_index=pair,
+                arrival_time=q.now,
+                holding_time=holding,
+                choice=choice,
+                measured=measured,
+            )
+            start_attempt(q, call)
+
+        times = trace.times.tolist()
+        od_index = trace.od_index.tolist()
+        holding = trace.holding_times.tolist()
+        uniforms = trace.uniforms.tolist()
+        for i in range(len(times)):
+            queue.schedule(times[i], arrival, (od_index[i], holding[i], uniforms[i]))
+        queue.run()
+
+        return SimulationResult(
+            od_pairs=trace.od_pairs,
+            offered=np.asarray(offered, dtype=np.int64),
+            blocked=np.asarray(blocked, dtype=np.int64),
+            primary_carried=primary_carried,
+            alternate_carried=alternate_carried,
+            warmup=warmup,
+            duration=trace.duration,
+            seed=trace.seed,
+        )
+
+
+def simulate_signaling(
+    network: Network,
+    policy: RoutingPolicy,
+    trace: ArrivalTrace,
+    warmup: float = 10.0,
+    propagation_delay: float = 0.0,
+) -> tuple[SimulationResult, SignalingStats]:
+    """Run the signaling-level simulation; returns result + protocol stats."""
+    simulator = SignalingSimulator(
+        network,
+        policy,
+        trace,
+        warmup=warmup,
+        config=SignalingConfig(propagation_delay=propagation_delay),
+    )
+    result = simulator.run()
+    return result, simulator.stats

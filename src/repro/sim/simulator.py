@@ -1,0 +1,393 @@
+"""Call-by-call loss-network simulation.
+
+Replays a pre-generated :class:`~repro.sim.trace.ArrivalTrace` under a
+compiled :class:`~repro.routing.base.RoutingPolicy`.  The model is the
+paper's: each call requests one unit of bandwidth on every link of one path;
+links are loss systems (no queueing, no retries beyond the policy's path
+list); holding times came with the trace.  Every policy sees the identical
+arrival sample — the paper's common-random-numbers methodology.
+
+Admission semantics:
+
+* a **primary** attempt succeeds iff every link on the primary path has a
+  free circuit;
+* under the *threshold* discipline, an **alternate** attempt succeeds iff
+  every link's occupancy is strictly below the policy's per-link alternate
+  threshold (``C`` for uncontrolled routing, ``C - r`` with state
+  protection); alternates are tried in increasing hop length and the call is
+  lost if all fail;
+* under the *shadow* discipline (Ott-Krishnan) all candidate paths are
+  priced by the policy's per-link tables at current occupancies and the call
+  takes the cheapest path iff that price does not exceed the call revenue.
+
+The simulator is deliberately a tight, allocation-light loop: occupancies
+live in a plain list, departures in a heap of ``(time, path)`` entries.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..routing.base import RoutingPolicy
+from ..topology.graph import Network
+from .metrics import SimulationResult
+from .trace import ArrivalTrace
+
+__all__ = ["LossNetworkSimulator", "simulate"]
+
+_REVENUE_EPS = 1e-12
+
+
+class LossNetworkSimulator:
+    """One network + one policy + one trace -> one :class:`SimulationResult`.
+
+    ``warmup`` truncates measurement: calls arriving before it still occupy
+    circuits (warming the state up from the idle network, as the paper does
+    with its 10 time units) but are not counted.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        policy: RoutingPolicy,
+        trace: ArrivalTrace,
+        warmup: float = 10.0,
+        collect_link_stats: bool = False,
+        initial_occupancy: np.ndarray | None = None,
+    ):
+        if warmup < 0 or warmup >= trace.duration:
+            raise ValueError(
+                f"warmup must lie in [0, duration={trace.duration}), got {warmup}"
+            )
+        if policy.network is not network:
+            # A copy with identical structure is fine; object identity is not
+            # required, but link counts must agree.
+            if policy.network.num_links != network.num_links:
+                raise ValueError("policy was compiled for a different network")
+        self.network = network
+        self.policy = policy
+        self.trace = trace
+        self.warmup = float(warmup)
+        self.collect_link_stats = collect_link_stats
+        #: Time-averaged occupancy per link over the measured window, filled
+        #: by :meth:`run` when ``collect_link_stats`` is set (else None).
+        self.mean_link_occupancy: np.ndarray | None = None
+        # Warm start: pre-existing calls at t = 0, one synthetic single-link
+        # call per occupied circuit, with fresh exp(1) remaining holding
+        # times (memorylessness makes that the exact stationary view).  Used
+        # by the hysteresis experiments to start in a congested state.
+        if initial_occupancy is not None:
+            occupancy0 = np.asarray(initial_occupancy, dtype=np.int64)
+            if occupancy0.shape != (network.num_links,):
+                raise ValueError("initial_occupancy must be per-link")
+            capacities = network.capacities()
+            if (occupancy0 < 0).any() or (occupancy0 > capacities).any():
+                raise ValueError("initial occupancy must lie in [0, capacity]")
+            self.initial_occupancy: np.ndarray | None = occupancy0
+        else:
+            self.initial_occupancy = None
+
+    def run(self) -> SimulationResult:
+        policy = self.policy
+        trace = self.trace
+        capacities = self.network.capacities().tolist()
+        num_pairs = len(trace.od_pairs)
+
+        # Per-O-D fast lookup.  Most pairs have a single deterministic route
+        # choice; the bifurcated case consults the per-call uniform variate.
+        single_choice = []
+        multi = []
+        for od in trace.od_pairs:
+            options = policy.choices.get(od, ())
+            if len(options) == 1:
+                single_choice.append(options[0])
+                multi.append(None)
+            elif len(options) == 0:
+                single_choice.append(None)
+                multi.append(None)
+            else:
+                single_choice.append(None)
+                multi.append((options, policy.cum_probs[od].tolist()))
+
+        times = trace.times.tolist()
+        od_index = trace.od_index.tolist()
+        holding = trace.holding_times.tolist()
+        uniforms = trace.uniforms.tolist()
+        warmup = self.warmup
+        bandwidths = (
+            trace.bandwidths.tolist() if trace.bandwidths is not None else None
+        )
+        class_index = (
+            trace.class_index.tolist() if trace.class_index is not None else None
+        )
+        num_classes = len(trace.class_names)
+        class_offered = [0] * num_classes
+        class_blocked = [0] * num_classes
+
+        occupancy = [0] * self.network.num_links
+        departures: list[tuple[float, tuple[int, ...], int]] = []
+        if self.initial_occupancy is not None:
+            from .rng import substream
+
+            warm_rng = substream(trace.seed, "warm-start")
+            for link_index, count in enumerate(self.initial_occupancy):
+                for __ in range(int(count)):
+                    occupancy[link_index] += 1
+                    departures.append(
+                        (float(warm_rng.exponential(1.0)), (link_index,), 1)
+                    )
+            heapq.heapify(departures)
+        offered = [0] * num_pairs
+        blocked = [0] * num_pairs
+        primary_carried = 0
+        alternate_carried = 0
+
+        if policy.discipline == "threshold":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            thresholds = [int(t) for t in policy.alt_thresholds]
+            run_call = self._make_threshold_step(capacities, thresholds, occupancy)
+        elif policy.discipline == "length-threshold":
+            tables = getattr(policy, "length_thresholds", None)
+            if tables is None:
+                raise ValueError(f"policy {policy.name!r} lacks length thresholds")
+            run_call = self._make_length_threshold_step(capacities, tables, occupancy)
+        elif policy.discipline == "least-busy":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            thresholds = [int(t) for t in policy.alt_thresholds]
+            run_call = self._make_least_busy_step(capacities, thresholds, occupancy)
+        elif policy.discipline == "shadow":
+            if policy.price_tables is None:
+                raise ValueError(f"policy {policy.name!r} lacks price tables")
+            run_call = self._make_shadow_step(capacities, occupancy)
+        else:
+            raise ValueError(f"unknown routing discipline {policy.discipline!r}")
+
+        collect = self.collect_link_stats
+        if collect:
+            occupancy_integral = [0.0] * self.network.num_links
+            last_change = [warmup] * self.network.num_links
+
+            def note_change(link: int, now_: float) -> None:
+                since = last_change[link]
+                if now_ > warmup:
+                    start = since if since > warmup else warmup
+                    occupancy_integral[link] += occupancy[link] * (now_ - start)
+                last_change[link] = now_
+
+        heap_push = heapq.heappush
+        heap_pop = heapq.heappop
+        for call in range(len(times)):
+            now = times[call]
+            while departures and departures[0][0] <= now:
+                departure_time, path, width = heap_pop(departures)
+                for link in path:
+                    if collect:
+                        note_change(link, departure_time)
+                    occupancy[link] -= width
+            pair = od_index[call]
+            width = 1 if bandwidths is None else bandwidths[call]
+            measured = now >= warmup
+            if measured:
+                offered[pair] += 1
+                if class_index is not None:
+                    class_offered[class_index[call]] += 1
+            choice = single_choice[pair]
+            if choice is None:
+                options = multi[pair]
+                if options is None:
+                    # Disconnected pair: the call is necessarily lost.
+                    if measured:
+                        blocked[pair] += 1
+                        if class_index is not None:
+                            class_blocked[class_index[call]] += 1
+                    continue
+                route_options, cum = options
+                u = uniforms[call]
+                pick = 0
+                while pick < len(cum) - 1 and u >= cum[pick]:
+                    pick += 1
+                choice = route_options[pick]
+            path, used_alternate = run_call(choice, width)
+            if path is None:
+                if measured:
+                    blocked[pair] += 1
+                    if class_index is not None:
+                        class_blocked[class_index[call]] += 1
+                continue
+            for link in path:
+                if collect:
+                    note_change(link, now)
+                occupancy[link] += width
+            heap_push(departures, (now + holding[call], path, width))
+            if measured:
+                if used_alternate:
+                    alternate_carried += 1
+                else:
+                    primary_carried += 1
+
+        if collect:
+            horizon = trace.duration
+            while departures and departures[0][0] <= horizon:
+                departure_time, path, width = heap_pop(departures)
+                for link in path:
+                    note_change(link, departure_time)
+                    occupancy[link] -= width
+            window = horizon - warmup
+            for link in range(self.network.num_links):
+                note_change(link, horizon)
+            self.mean_link_occupancy = (
+                np.asarray(occupancy_integral) / window if window > 0 else None
+            )
+
+        return SimulationResult(
+            od_pairs=trace.od_pairs,
+            offered=np.asarray(offered, dtype=np.int64),
+            blocked=np.asarray(blocked, dtype=np.int64),
+            primary_carried=primary_carried,
+            alternate_carried=alternate_carried,
+            warmup=warmup,
+            duration=trace.duration,
+            seed=trace.seed,
+            class_names=trace.class_names,
+            class_offered=np.asarray(class_offered, dtype=np.int64),
+            class_blocked=np.asarray(class_blocked, dtype=np.int64),
+        )
+
+    # ------------------------------------------------------------- admission
+
+    def _make_threshold_step(self, capacities, thresholds, occupancy):
+        """Build the per-call admission closure for threshold policies.
+
+        A primary call of bandwidth ``width`` fits iff every link has
+        ``width`` free units; an alternate call additionally may not push
+        any link past its protection threshold.
+        """
+
+        def step(choice, width):
+            for link in choice.primary:
+                if occupancy[link] + width > capacities[link]:
+                    break
+            else:
+                return choice.primary, False
+            for alt in choice.alternates:
+                for link in alt:
+                    if occupancy[link] + width > thresholds[link]:
+                        break
+                else:
+                    return alt, True
+            return None, False
+
+        return step
+
+    def _make_length_threshold_step(self, capacities, tables, occupancy):
+        """Admission closure for hop-length-aware protection.
+
+        ``tables[h]`` is the per-link threshold list applied to alternate
+        paths of exactly ``h`` hops — shorter alternates face laxer
+        thresholds since they displace fewer primaries (the Section-3.2
+        refinement).  Primary admission is unchanged.
+        """
+
+        def step(choice, width):
+            for link in choice.primary:
+                if occupancy[link] + width > capacities[link]:
+                    break
+            else:
+                return choice.primary, False
+            for alt in choice.alternates:
+                thresholds = tables[len(alt)]
+                for link in alt:
+                    if occupancy[link] + width > thresholds[link]:
+                        break
+                else:
+                    return alt, True
+            return None, False
+
+        return step
+
+    def _make_least_busy_step(self, capacities, thresholds, occupancy):
+        """Admission closure for least-busy alternate selection.
+
+        Among the alternates whose every link admits the call under its
+        threshold, pick the one with the largest bottleneck headroom
+        (minimum of ``threshold - occupancy - width`` over its links); the
+        candidate order (shortest first) breaks ties, matching LBA's
+        preference for short alternates.
+        """
+
+        def step(choice, width):
+            for link in choice.primary:
+                if occupancy[link] + width > capacities[link]:
+                    break
+            else:
+                return choice.primary, False
+            best_path = None
+            best_headroom = -1
+            for alt in choice.alternates:
+                headroom = None
+                for link in alt:
+                    free = thresholds[link] - occupancy[link] - width
+                    if free < 0:
+                        headroom = None
+                        break
+                    if headroom is None or free < headroom:
+                        headroom = free
+                if headroom is not None and headroom > best_headroom:
+                    best_headroom = headroom
+                    best_path = alt
+            if best_path is not None:
+                return best_path, True
+            return None, False
+
+        return step
+
+    def _make_shadow_step(self, capacities, occupancy):
+        """Build the per-call admission closure for shadow-price policies.
+
+        Prices are per unit of bandwidth: a ``width``-unit call at link
+        occupancy ``s`` is charged the sum of the unit prices at states
+        ``s, s+1, ..., s+width-1`` (the unit-decomposition view).
+        """
+        tables = self.policy.price_tables
+        revenue = getattr(self.policy, "revenue", 1.0) + _REVENUE_EPS
+
+        def step(choice, width):
+            best_path = None
+            best_price = revenue
+            best_is_alternate = False
+            candidates = (choice.primary,) + choice.alternates
+            for position, path in enumerate(candidates):
+                price = 0.0
+                feasible = True
+                for link in path:
+                    state = occupancy[link]
+                    if state + width > capacities[link]:
+                        feasible = False
+                        break
+                    table = tables[link]
+                    for unit in range(width):
+                        price += table[state + unit]
+                    if price >= best_price:
+                        feasible = False
+                        break
+                if feasible and price < best_price:
+                    best_price = price
+                    best_path = path
+                    best_is_alternate = position > 0
+            return best_path, best_is_alternate
+
+        return step
+
+
+def simulate(
+    network: Network,
+    policy: RoutingPolicy,
+    trace: ArrivalTrace,
+    warmup: float = 10.0,
+) -> SimulationResult:
+    """Convenience wrapper: build and run a :class:`LossNetworkSimulator`."""
+    return LossNetworkSimulator(network, policy, trace, warmup).run()

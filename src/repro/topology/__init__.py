@@ -1,0 +1,71 @@
+"""Topology substrate: mesh model, generators, NSFNet data, path algorithms."""
+
+from .dalfar import DistanceVectorTables, compute_distance_vectors, dalfar_routes
+from .generators import (
+    fully_connected,
+    grid,
+    line,
+    quadrangle,
+    random_mesh,
+    ring,
+    star,
+    torus,
+    waxman_mesh,
+)
+from .graph import Link, Network
+from .io import load_network, network_from_dict, network_to_dict, save_network
+from .nsfnet import (
+    NSFNET_DUPLEX_LINKS,
+    NSFNET_LINK_CAPACITY,
+    NSFNET_NODE_NAMES,
+    NSFNET_NUM_NODES,
+    NSFNET_TABLE1_LOADS,
+    NSFNET_TABLE1_PROTECTION,
+    nsfnet_backbone,
+)
+from .paths import (
+    PathTable,
+    all_min_hop_paths,
+    alternate_path_census,
+    build_path_table,
+    k_shortest_paths,
+    min_hop_distances,
+    min_hop_path,
+    simple_paths_by_length,
+)
+
+__all__ = [
+    "Link",
+    "Network",
+    "load_network",
+    "save_network",
+    "network_to_dict",
+    "network_from_dict",
+    "fully_connected",
+    "quadrangle",
+    "ring",
+    "line",
+    "grid",
+    "star",
+    "random_mesh",
+    "torus",
+    "waxman_mesh",
+    "NSFNET_NUM_NODES",
+    "NSFNET_DUPLEX_LINKS",
+    "NSFNET_LINK_CAPACITY",
+    "NSFNET_NODE_NAMES",
+    "NSFNET_TABLE1_LOADS",
+    "NSFNET_TABLE1_PROTECTION",
+    "nsfnet_backbone",
+    "PathTable",
+    "all_min_hop_paths",
+    "alternate_path_census",
+    "build_path_table",
+    "k_shortest_paths",
+    "min_hop_distances",
+    "min_hop_path",
+    "simple_paths_by_length",
+    "DistanceVectorTables",
+    "compute_distance_vectors",
+    "dalfar_routes",
+]

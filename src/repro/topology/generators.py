@@ -1,0 +1,183 @@
+"""Topology generators.
+
+The paper's first experiment runs on a fully-connected 4-node network (the
+"quadrangle"); the second on the sparse NSFNet mesh.  This module generates
+those and other standard meshes so the control scheme can be exercised on
+arbitrary general-mesh topologies: fully-connected, ring, line, two-dimen-
+sional grid, star, and connected random meshes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Network
+
+__all__ = [
+    "fully_connected",
+    "quadrangle",
+    "ring",
+    "line",
+    "grid",
+    "torus",
+    "star",
+    "random_mesh",
+    "waxman_mesh",
+]
+
+
+def fully_connected(num_nodes: int, capacity: int) -> Network:
+    """Complete graph: every ordered node pair gets a direct link."""
+    if num_nodes < 2:
+        raise ValueError("a fully-connected network needs at least two nodes")
+    network = Network(num_nodes)
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            network.add_duplex_link(i, j, capacity)
+    return network
+
+
+def quadrangle(capacity: int = 100) -> Network:
+    """The paper's fully-connected 4-node quadrangle (Section 4.1)."""
+    return fully_connected(4, capacity)
+
+
+def ring(num_nodes: int, capacity: int) -> Network:
+    """Cycle of ``num_nodes`` duplex links."""
+    if num_nodes < 3:
+        raise ValueError("a ring needs at least three nodes")
+    network = Network(num_nodes)
+    for i in range(num_nodes):
+        network.add_duplex_link(i, (i + 1) % num_nodes, capacity)
+    return network
+
+
+def line(num_nodes: int, capacity: int) -> Network:
+    """Simple chain topology — useful for tests (no alternate paths exist)."""
+    if num_nodes < 2:
+        raise ValueError("a line needs at least two nodes")
+    network = Network(num_nodes)
+    for i in range(num_nodes - 1):
+        network.add_duplex_link(i, i + 1, capacity)
+    return network
+
+
+def grid(rows: int, cols: int, capacity: int) -> Network:
+    """Two-dimensional grid, row-major node numbering."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least two nodes")
+    network = Network(rows * cols)
+    for row in range(rows):
+        for col in range(cols):
+            node = row * cols + col
+            if col + 1 < cols:
+                network.add_duplex_link(node, node + 1, capacity)
+            if row + 1 < rows:
+                network.add_duplex_link(node, node + cols, capacity)
+    return network
+
+
+def torus(rows: int, cols: int, capacity: int) -> Network:
+    """Two-dimensional torus (grid with wraparound), row-major numbering.
+
+    Every node has degree four, so every pair enjoys several disjoint
+    alternates — a convenient symmetric test bed for alternate routing.
+    """
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs at least 3x3 nodes (else parallel links)")
+    network = Network(rows * cols)
+    for row in range(rows):
+        for col in range(cols):
+            node = row * cols + col
+            network.add_duplex_link(node, row * cols + (col + 1) % cols, capacity)
+            network.add_duplex_link(node, ((row + 1) % rows) * cols + col, capacity)
+    return network
+
+
+def star(num_leaves: int, capacity: int) -> Network:
+    """Hub node 0 joined to ``num_leaves`` leaves — single-path by force."""
+    if num_leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    network = Network(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        network.add_duplex_link(0, leaf, capacity)
+    return network
+
+
+def random_mesh(
+    num_nodes: int,
+    extra_links: int,
+    capacity: int,
+    seed: int = 0,
+) -> Network:
+    """Connected random mesh: a random spanning tree plus ``extra_links``.
+
+    The spanning tree guarantees connectivity; extra duplex links are drawn
+    uniformly among absent pairs.  Deterministic for a given ``seed``.
+    """
+    if num_nodes < 2:
+        raise ValueError("random mesh needs at least two nodes")
+    rng = np.random.default_rng(seed)
+    network = Network(num_nodes)
+    # Random spanning tree: attach each new node to a uniformly random
+    # already-attached node (random recursive tree).
+    order = rng.permutation(num_nodes)
+    attached = [int(order[0])]
+    present: set[tuple[int, int]] = set()
+    for raw in order[1:]:
+        node = int(raw)
+        partner = int(attached[int(rng.integers(0, len(attached)))])
+        network.add_duplex_link(node, partner, capacity)
+        present.add((min(node, partner), max(node, partner)))
+        attached.append(node)
+    absent = [
+        (i, j)
+        for i in range(num_nodes)
+        for j in range(i + 1, num_nodes)
+        if (i, j) not in present
+    ]
+    count = min(extra_links, len(absent))
+    for idx in rng.choice(len(absent), size=count, replace=False) if count else []:
+        a, b = absent[int(idx)]
+        network.add_duplex_link(a, b, capacity)
+    return network
+
+
+def waxman_mesh(
+    num_nodes: int,
+    capacity: int,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    seed: int = 0,
+) -> Network:
+    """Waxman random graph — the classic synthetic internetwork model.
+
+    Nodes are placed uniformly on the unit square; the pair ``(u, v)`` at
+    Euclidean distance ``d`` gets a duplex link with probability
+    ``alpha * exp(-d / (beta * sqrt(2)))``.  A random spanning tree is laid
+    down first so the mesh is always connected (pairs already joined by the
+    tree are skipped by the probabilistic pass).  Deterministic per seed.
+    """
+    if num_nodes < 2:
+        raise ValueError("waxman mesh needs at least two nodes")
+    if not 0 < alpha <= 1 or beta <= 0:
+        raise ValueError("need 0 < alpha <= 1 and beta > 0")
+    rng = np.random.default_rng(seed)
+    positions = rng.uniform(0.0, 1.0, size=(num_nodes, 2))
+    network = Network(num_nodes)
+    present: set[tuple[int, int]] = set()
+    # Connectivity backbone: attach each node to a random earlier node.
+    for node in range(1, num_nodes):
+        partner = int(rng.integers(0, node))
+        network.add_duplex_link(node, partner, capacity)
+        present.add((min(node, partner), max(node, partner)))
+    max_distance = float(np.sqrt(2.0))
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if (i, j) in present:
+                continue
+            distance = float(np.linalg.norm(positions[i] - positions[j]))
+            probability = alpha * np.exp(-distance / (beta * max_distance))
+            if rng.random() < probability:
+                network.add_duplex_link(i, j, capacity)
+    return network

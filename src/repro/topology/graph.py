@@ -1,0 +1,223 @@
+"""Directed-link mesh network model.
+
+The paper models a network as nodes joined by *directed* links (each physical
+link is a pair of unidirectional links transmitting in opposite directions),
+where a link's capacity counts the number of unit-bandwidth calls it can
+carry simultaneously.  This module provides that model: a :class:`Network` of
+integer-indexed nodes and :class:`Link` objects, with optional node labels
+(the NSFNet nodes carry city names), link lookup by endpoint pair, and
+failure masking for the Section-4.2.2 link-failure experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Link", "Network"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional link.
+
+    ``index`` is the link's position in the network's link list (simulation
+    state is stored in arrays indexed by it), ``src -> dst`` its direction,
+    and ``capacity`` the number of simultaneous calls it supports.
+    """
+
+    index: int
+    src: int
+    dst: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"link capacity must be non-negative, got {self.capacity}")
+        if self.src == self.dst:
+            raise ValueError(f"self-loop link at node {self.src} is not allowed")
+
+    @property
+    def endpoints(self) -> tuple[int, int]:
+        return (self.src, self.dst)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.src}->{self.dst}"
+
+
+class Network:
+    """A general-mesh network of directed links.
+
+    Nodes are integers ``0 .. num_nodes - 1``.  Links are added with
+    :meth:`add_link` (unidirectional) or :meth:`add_duplex_link` (a pair of
+    opposite unidirectional links, the paper's physical-link model).  At most
+    one link may join an ordered node pair.
+
+    Links may be *failed* (Section 4.2.2 studies failures of ``2<->3`` and
+    ``7<->9`` in the NSFNet model); failed links are excluded from routing
+    and admit no calls, but keep their indices so state arrays stay aligned.
+    """
+
+    def __init__(self, num_nodes: int, node_names: Sequence[str] | None = None):
+        if num_nodes < 1:
+            raise ValueError("network needs at least one node")
+        if node_names is not None and len(node_names) != num_nodes:
+            raise ValueError(
+                f"expected {num_nodes} node names, got {len(node_names)}"
+            )
+        self._num_nodes = num_nodes
+        self._node_names = list(node_names) if node_names is not None else None
+        self._links: list[Link] = []
+        self._by_endpoints: dict[tuple[int, int], int] = {}
+        self._out: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._failed: set[int] = set()
+
+    # ------------------------------------------------------------------ build
+
+    def add_link(self, src: int, dst: int, capacity: int) -> Link:
+        """Add a unidirectional link and return it."""
+        self._check_node(src)
+        self._check_node(dst)
+        if (src, dst) in self._by_endpoints:
+            raise ValueError(f"link {src}->{dst} already exists")
+        link = Link(index=len(self._links), src=src, dst=dst, capacity=capacity)
+        self._links.append(link)
+        self._by_endpoints[(src, dst)] = link.index
+        self._out[src].append(link.index)
+        return link
+
+    def add_duplex_link(self, a: int, b: int, capacity: int) -> tuple[Link, Link]:
+        """Add the pair of opposite links ``a->b`` and ``b->a``."""
+        return self.add_link(a, b, capacity), self.add_link(b, a, capacity)
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        return tuple(self._links)
+
+    def node_name(self, node: int) -> str:
+        """Human-readable node label (falls back to the index)."""
+        self._check_node(node)
+        if self._node_names is None:
+            return str(node)
+        return self._node_names[node]
+
+    def nodes(self) -> range:
+        return range(self._num_nodes)
+
+    def node_pairs(self) -> Iterator[tuple[int, int]]:
+        """All ordered pairs of distinct nodes (the O-D pairs)."""
+        for i in range(self._num_nodes):
+            for j in range(self._num_nodes):
+                if i != j:
+                    yield (i, j)
+
+    def link(self, index: int) -> Link:
+        return self._links[index]
+
+    def link_between(self, src: int, dst: int) -> Link | None:
+        """The link ``src->dst`` if it exists and is not failed."""
+        index = self._by_endpoints.get((src, dst))
+        if index is None or index in self._failed:
+            return None
+        return self._links[index]
+
+    def has_link(self, src: int, dst: int) -> bool:
+        return self.link_between(src, dst) is not None
+
+    def out_links(self, node: int) -> list[Link]:
+        """Working links leaving ``node``."""
+        self._check_node(node)
+        return [self._links[i] for i in self._out[node] if i not in self._failed]
+
+    def neighbors(self, node: int) -> list[int]:
+        """Nodes reachable over one working link from ``node``."""
+        return [link.dst for link in self.out_links(node)]
+
+    def capacities(self) -> np.ndarray:
+        """Capacity array indexed by link index (0 for failed links)."""
+        caps = np.array([link.capacity for link in self._links], dtype=np.int64)
+        for index in self._failed:
+            caps[index] = 0
+        return caps
+
+    # --------------------------------------------------------------- failures
+
+    def fail_link(self, src: int, dst: int) -> None:
+        """Take the ``src->dst`` link out of service."""
+        index = self._by_endpoints.get((src, dst))
+        if index is None:
+            raise KeyError(f"no link {src}->{dst}")
+        self._failed.add(index)
+
+    def fail_duplex_link(self, a: int, b: int) -> None:
+        """Take both directions of the physical link ``a<->b`` out of service."""
+        self.fail_link(a, b)
+        self.fail_link(b, a)
+
+    def restore_link(self, src: int, dst: int) -> None:
+        index = self._by_endpoints.get((src, dst))
+        if index is None:
+            raise KeyError(f"no link {src}->{dst}")
+        self._failed.discard(index)
+
+    def restore_all(self) -> None:
+        self._failed.clear()
+
+    @property
+    def failed_links(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    def is_failed(self, index: int) -> bool:
+        return index in self._failed
+
+    # ------------------------------------------------------------------ paths
+
+    def path_links(self, path: Sequence[int]) -> tuple[int, ...]:
+        """Link indices along a node path; raises if any hop is missing/failed."""
+        if len(path) < 2:
+            raise ValueError(f"a path needs at least two nodes, got {list(path)}")
+        indices = []
+        for src, dst in zip(path, path[1:]):
+            link = self.link_between(src, dst)
+            if link is None:
+                raise ValueError(f"path uses missing or failed link {src}->{dst}")
+            indices.append(link.index)
+        return tuple(indices)
+
+    def is_valid_path(self, path: Sequence[int]) -> bool:
+        """True when ``path`` is a simple node path over working links."""
+        if len(path) < 2 or len(set(path)) != len(path):
+            return False
+        return all(self.has_link(a, b) for a, b in zip(path, path[1:]))
+
+    # ------------------------------------------------------------------ misc
+
+    def copy(self) -> "Network":
+        """Deep copy (links are immutable; failure set is copied)."""
+        clone = Network(self._num_nodes, self._node_names)
+        for link in self._links:
+            clone.add_link(link.src, link.dst, link.capacity)
+        clone._failed = set(self._failed)
+        return clone
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self._num_nodes})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Network(num_nodes={self._num_nodes}, num_links={len(self._links)}, "
+            f"failed={len(self._failed)})"
+        )

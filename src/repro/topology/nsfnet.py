@@ -1,0 +1,147 @@
+"""The NSFNet T3 Backbone model of the paper's Section 4.2 (Figure 5).
+
+Twelve Core Nodal Switching Subsystems joined by fifteen duplex links, the
+Fall-1992 configuration.  Table 1 of the paper enumerates the thirty
+directed links; the adjacency below reproduces that list exactly.
+
+The paper provisions every directional link at 155 Mb/s with 100 Mb/s set
+aside for rate-based traffic and uses a 1 Mb/s video call as the prototype
+call, so every directed link has capacity ``C = 100`` calls.
+
+City labels: the paper's Figure 5 names each node after its Exterior NSS
+sites, but those labels did not survive in the text available to us; the
+labels here are geographically plausible stand-ins and are purely cosmetic —
+all computations key off the node indices ``0 .. 11``, which *are* the
+paper's (Table 1 uses them directly).
+"""
+
+from __future__ import annotations
+
+from .graph import Network
+
+__all__ = [
+    "NSFNET_NUM_NODES",
+    "NSFNET_DUPLEX_LINKS",
+    "NSFNET_LINK_CAPACITY",
+    "NSFNET_NODE_NAMES",
+    "NSFNET_TABLE1_LOADS",
+    "NSFNET_TABLE1_PROTECTION",
+    "nsfnet_backbone",
+]
+
+NSFNET_NUM_NODES = 12
+
+#: The fifteen physical (duplex) links of Figure 5 / Table 1.
+NSFNET_DUPLEX_LINKS: tuple[tuple[int, int], ...] = (
+    (0, 1),
+    (0, 11),
+    (1, 2),
+    (1, 5),
+    (2, 3),
+    (3, 4),
+    (4, 5),
+    (4, 11),
+    (5, 6),
+    (6, 7),
+    (7, 8),
+    (7, 9),
+    (8, 10),
+    (9, 10),
+    (10, 11),
+)
+
+#: Calls per directed link: 100 Mb/s of rate-based capacity at 1 Mb/s a call.
+NSFNET_LINK_CAPACITY = 100
+
+#: Cosmetic stand-in labels (see module docstring).
+NSFNET_NODE_NAMES: tuple[str, ...] = (
+    "Seattle",
+    "Palo Alto",
+    "San Diego",
+    "Houston",
+    "Atlanta",
+    "St. Louis",
+    "Pittsburgh",
+    "Washington DC",
+    "New York",
+    "Greensboro",
+    "Cleveland",
+    "Chicago",
+)
+
+#: Table 1 of the paper: directed link -> primary load Lambda^k (Erlangs,
+#: rounded to integers as printed) under the nominal traffic matrix.
+NSFNET_TABLE1_LOADS: dict[tuple[int, int], int] = {
+    (0, 1): 74,
+    (0, 11): 77,
+    (1, 0): 71,
+    (1, 2): 37,
+    (1, 5): 46,
+    (2, 1): 34,
+    (2, 3): 16,
+    (3, 2): 16,
+    (3, 4): 49,
+    (4, 3): 54,
+    (4, 5): 63,
+    (4, 11): 103,
+    (5, 1): 49,
+    (5, 4): 65,
+    (5, 6): 81,
+    (6, 5): 87,
+    (6, 7): 74,
+    (7, 6): 73,
+    (7, 8): 71,
+    (7, 9): 43,
+    (8, 7): 76,
+    (8, 10): 124,
+    (9, 7): 39,
+    (9, 10): 49,
+    (10, 8): 107,
+    (10, 9): 48,
+    (10, 11): 167,
+    (11, 0): 85,
+    (11, 4): 104,
+    (11, 10): 154,
+}
+
+#: Table 1 of the paper: directed link -> (r for H=6, r for H=11).
+NSFNET_TABLE1_PROTECTION: dict[tuple[int, int], tuple[int, int]] = {
+    (0, 1): (7, 10),
+    (0, 11): (8, 12),
+    (1, 0): (6, 8),
+    (1, 2): (2, 3),
+    (1, 5): (3, 4),
+    (2, 1): (2, 3),
+    (2, 3): (1, 2),
+    (3, 2): (1, 2),
+    (3, 4): (3, 4),
+    (4, 3): (3, 4),
+    (4, 5): (4, 6),
+    (4, 11): (56, 100),
+    (5, 1): (3, 4),
+    (5, 4): (5, 6),
+    (5, 6): (11, 15),
+    (6, 5): (16, 26),
+    (6, 7): (7, 10),
+    (7, 6): (7, 9),
+    (7, 8): (6, 8),
+    (7, 9): (3, 3),
+    (8, 7): (8, 11),
+    (8, 10): (100, 100),
+    (9, 7): (2, 3),
+    (9, 10): (3, 4),
+    (10, 8): (70, 100),
+    (10, 9): (3, 4),
+    (10, 11): (100, 100),
+    (11, 0): (14, 22),
+    (11, 4): (60, 100),
+    (11, 10): (100, 100),
+}
+
+
+def nsfnet_backbone(capacity: int = NSFNET_LINK_CAPACITY) -> Network:
+    """Build the 12-node NSFNet T3 backbone with the given per-link capacity."""
+    network = Network(NSFNET_NUM_NODES, node_names=NSFNET_NODE_NAMES)
+    for a, b in NSFNET_DUPLEX_LINKS:
+        network.add_duplex_link(a, b, capacity)
+    return network

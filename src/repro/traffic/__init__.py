@@ -1,0 +1,39 @@
+"""Traffic substrate: demand matrices, link loads, generators, calibration."""
+
+from .calibration import CalibrationResult, calibrate_traffic, nsfnet_nominal_traffic
+from .demand import (
+    bifurcated_link_loads,
+    loads_by_endpoints,
+    multiclass_unit_loads,
+    primary_link_loads,
+)
+from .generators import (
+    gravity_traffic,
+    hotspot_traffic,
+    random_traffic,
+    uniform_traffic,
+)
+from .io import load_traffic, save_traffic, traffic_from_dict, traffic_to_dict
+from .matrix import TrafficMatrix
+from .profiles import LoadProfile, generate_nonstationary_trace
+
+__all__ = [
+    "TrafficMatrix",
+    "load_traffic",
+    "save_traffic",
+    "traffic_to_dict",
+    "traffic_from_dict",
+    "LoadProfile",
+    "generate_nonstationary_trace",
+    "primary_link_loads",
+    "bifurcated_link_loads",
+    "multiclass_unit_loads",
+    "loads_by_endpoints",
+    "uniform_traffic",
+    "gravity_traffic",
+    "hotspot_traffic",
+    "random_traffic",
+    "CalibrationResult",
+    "calibrate_traffic",
+    "nsfnet_nominal_traffic",
+]

@@ -1,0 +1,51 @@
+"""JSON serialization for demand matrices.
+
+The document lists the positive O-D demands (Erlangs)::
+
+    {
+      "num_nodes": 3,
+      "demands": [[0, 1, 12.5], [1, 0, 8.0], [2, 0, 3.0]]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .matrix import TrafficMatrix
+
+__all__ = ["traffic_to_dict", "traffic_from_dict", "save_traffic", "load_traffic"]
+
+
+def traffic_to_dict(traffic: TrafficMatrix) -> dict:
+    """Serializable representation: sparse list of positive demands."""
+    return {
+        "num_nodes": traffic.num_nodes,
+        "demands": [
+            [od[0], od[1], demand] for od, demand in traffic.positive_pairs()
+        ],
+    }
+
+
+def traffic_from_dict(document: dict) -> TrafficMatrix:
+    """Build a :class:`TrafficMatrix` from the JSON structure above."""
+    try:
+        num_nodes = int(document["num_nodes"])
+    except KeyError as error:
+        raise ValueError("traffic document needs 'num_nodes'") from error
+    demands: dict[tuple[int, int], float] = {}
+    for entry in document.get("demands", []):
+        if len(entry) != 3:
+            raise ValueError(f"demand entries are [origin, destination, erlangs]: {entry}")
+        origin, destination, erlangs = entry
+        demands[(int(origin), int(destination))] = float(erlangs)
+    return TrafficMatrix(demands, num_nodes=num_nodes)
+
+
+def save_traffic(path: str | Path, traffic: TrafficMatrix) -> None:
+    Path(path).write_text(json.dumps(traffic_to_dict(traffic), indent=2))
+
+
+def load_traffic(path: str | Path) -> TrafficMatrix:
+    return traffic_from_dict(json.loads(Path(path).read_text()))

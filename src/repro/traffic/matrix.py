@@ -1,0 +1,100 @@
+"""Traffic matrices.
+
+The paper's demand model is a square matrix ``T`` of size ``N`` where
+``T(i, j)`` is the offered traffic, in Erlangs, of calls originating at node
+``i`` destined for node ``j`` (holding times are unit mean, so Erlangs and
+call-arrival rate coincide).  Load sweeps scale the nominal matrix linearly
+(Section 4.2.2: "the T's used for the other loads were got by linearly
+scaling the T corresponding to the nominal load").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["TrafficMatrix"]
+
+
+class TrafficMatrix:
+    """An ``N x N`` non-negative demand matrix with a zero diagonal."""
+
+    def __init__(self, demands: np.ndarray | Mapping[tuple[int, int], float], num_nodes: int | None = None):
+        if isinstance(demands, Mapping):
+            if num_nodes is None:
+                if not demands:
+                    raise ValueError("num_nodes required for an empty demand mapping")
+                num_nodes = 1 + max(max(i, j) for i, j in demands)
+            matrix = np.zeros((num_nodes, num_nodes), dtype=float)
+            for (i, j), value in demands.items():
+                matrix[i, j] = value
+        else:
+            matrix = np.array(demands, dtype=float)
+            if num_nodes is not None and matrix.shape != (num_nodes, num_nodes):
+                raise ValueError(
+                    f"matrix shape {matrix.shape} does not match num_nodes={num_nodes}"
+                )
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"traffic matrix must be square, got shape {matrix.shape}")
+        if (matrix < 0).any():
+            raise ValueError("traffic demands must be non-negative")
+        if np.diag(matrix).any():
+            raise ValueError("traffic matrix diagonal must be zero (no self-traffic)")
+        self._matrix = matrix
+
+    # -------------------------------------------------------------- accessors
+
+    @property
+    def num_nodes(self) -> int:
+        return self._matrix.shape[0]
+
+    def demand(self, origin: int, destination: int) -> float:
+        """``T(i, j)`` in Erlangs."""
+        return float(self._matrix[origin, destination])
+
+    def __getitem__(self, od: tuple[int, int]) -> float:
+        return self.demand(*od)
+
+    def as_array(self) -> np.ndarray:
+        """A defensive copy of the underlying array."""
+        return self._matrix.copy()
+
+    @property
+    def total(self) -> float:
+        """Total offered traffic over all O-D pairs, in Erlangs."""
+        return float(self._matrix.sum())
+
+    def positive_pairs(self) -> Iterator[tuple[tuple[int, int], float]]:
+        """Yield ``((i, j), T(i, j))`` for every pair with positive demand."""
+        rows, cols = np.nonzero(self._matrix)
+        for i, j in zip(rows.tolist(), cols.tolist()):
+            yield (i, j), float(self._matrix[i, j])
+
+    # ------------------------------------------------------------- operations
+
+    def scaled(self, factor: float) -> "TrafficMatrix":
+        """A new matrix with every demand multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return TrafficMatrix(self._matrix * factor)
+
+    def __mul__(self, factor: float) -> "TrafficMatrix":
+        return self.scaled(factor)
+
+    __rmul__ = __mul__
+
+    def rounded(self) -> np.ndarray:
+        """Demands rounded to nearest integer (how the paper prints T)."""
+        return np.rint(self._matrix).astype(int)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TrafficMatrix):
+            return NotImplemented
+        return np.array_equal(self._matrix, other._matrix)
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("TrafficMatrix is mutable-array-backed and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TrafficMatrix(num_nodes={self.num_nodes}, total={self.total:.1f} Erlangs)"

@@ -1,0 +1,141 @@
+"""Time-varying load profiles and nonstationary arrival traces.
+
+The paper evaluates stationary Poisson load, but its deployment story —
+links continuously re-estimating their primary demand — only matters when
+demand *moves*.  This module supplies the moving demand: a piecewise-
+constant :class:`LoadProfile` scaling a base traffic matrix over time, and a
+thinning-based nonstationary trace generator compatible with the standard
+simulator (the trace format is unchanged; only the arrival instants follow
+the profile).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+import numpy as np
+
+from ..sim.rng import substream
+from ..sim.trace import ArrivalTrace
+from .matrix import TrafficMatrix
+
+__all__ = ["LoadProfile", "generate_nonstationary_trace"]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A piecewise-constant multiplier on a base demand matrix.
+
+    ``breakpoints`` are the times at which the multiplier changes;
+    ``scales[i]`` applies on ``[breakpoints[i], breakpoints[i+1])`` and
+    ``scales[0]`` before the first breakpoint — so ``len(scales) ==
+    len(breakpoints) + 1``.  All scales must be non-negative.
+    """
+
+    breakpoints: tuple[float, ...]
+    scales: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.scales) != len(self.breakpoints) + 1:
+            raise ValueError(
+                f"need {len(self.breakpoints) + 1} scales for "
+                f"{len(self.breakpoints)} breakpoints, got {len(self.scales)}"
+            )
+        if any(s < 0 for s in self.scales):
+            raise ValueError("scales must be non-negative")
+        if list(self.breakpoints) != sorted(self.breakpoints):
+            raise ValueError("breakpoints must be sorted")
+
+    @staticmethod
+    def constant(scale: float = 1.0) -> "LoadProfile":
+        return LoadProfile(breakpoints=(), scales=(scale,))
+
+    @staticmethod
+    def step(at: float, before: float, after: float) -> "LoadProfile":
+        """A single load shift at time ``at`` (e.g. a surge or failover)."""
+        return LoadProfile(breakpoints=(at,), scales=(before, after))
+
+    @staticmethod
+    def day_night(
+        period: float, day_scale: float, night_scale: float, horizon: float
+    ) -> "LoadProfile":
+        """Alternating day/night scales of equal length up to ``horizon``."""
+        if period <= 0 or horizon <= 0:
+            raise ValueError("period and horizon must be positive")
+        breakpoints = []
+        scales = [day_scale]
+        t = period / 2.0
+        day = False
+        while t < horizon:
+            breakpoints.append(t)
+            scales.append(day_scale if day else night_scale)
+            day = not day
+            t += period / 2.0
+        return LoadProfile(tuple(breakpoints), tuple(scales))
+
+    @property
+    def max_scale(self) -> float:
+        return max(self.scales)
+
+    def scale_at(self, time: float) -> float:
+        """The multiplier in force at ``time``."""
+        return self.scales[bisect_right(self.breakpoints, time)]
+
+
+def generate_nonstationary_trace(
+    traffic: TrafficMatrix,
+    profile: LoadProfile,
+    duration: float,
+    seed: int,
+) -> ArrivalTrace:
+    """Arrivals of a Poisson process whose rate follows ``profile``.
+
+    Standard thinning: draw a homogeneous process at the profile's peak rate
+    and keep each arrival with probability ``scale(t) / max_scale``.  O-D
+    marks, holding times and routing uniforms are drawn as in the
+    stationary generator, so the result plugs into the simulator unchanged.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    pairs: list[tuple[int, int]] = []
+    rates: list[float] = []
+    for od, demand in traffic.positive_pairs():
+        pairs.append(od)
+        rates.append(demand)
+    base_rate = float(sum(rates))
+    peak = base_rate * profile.max_scale
+    rng = substream(seed, "arrivals", "nonstationary")
+    if peak == 0.0:
+        empty = np.empty(0)
+        return ArrivalTrace(
+            od_pairs=tuple(pairs),
+            times=empty,
+            od_index=np.empty(0, dtype=np.int64),
+            holding_times=empty.copy(),
+            uniforms=empty.copy(),
+            duration=float(duration),
+            seed=seed,
+        )
+    count = int(rng.poisson(peak * duration))
+    candidate_times = np.sort(rng.uniform(0.0, duration, size=count))
+    acceptance = rng.uniform(0.0, 1.0, size=count)
+    keep = np.array(
+        [
+            acceptance[i] * profile.max_scale < profile.scale_at(candidate_times[i])
+            for i in range(count)
+        ],
+        dtype=bool,
+    )
+    times = candidate_times[keep]
+    kept = int(times.size)
+    probabilities = np.asarray(rates) / base_rate
+    od_index = rng.choice(len(pairs), size=kept, p=probabilities)
+    return ArrivalTrace(
+        od_pairs=tuple(pairs),
+        times=times,
+        od_index=od_index.astype(np.int64),
+        holding_times=rng.exponential(1.0, size=kept),
+        uniforms=rng.uniform(0.0, 1.0, size=kept),
+        duration=float(duration),
+        seed=seed,
+    )

@@ -1,0 +1,41 @@
+"""Shared fixtures: canonical networks, path tables, and a fast sim config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ReplicationConfig
+from repro.topology.generators import quadrangle
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import build_path_table
+
+
+@pytest.fixture(scope="session")
+def quad_network():
+    return quadrangle(100)
+
+
+@pytest.fixture(scope="session")
+def quad_table(quad_network):
+    return build_path_table(quad_network)
+
+
+@pytest.fixture(scope="session")
+def nsfnet():
+    return nsfnet_backbone()
+
+
+@pytest.fixture(scope="session")
+def nsfnet_table(nsfnet):
+    return build_path_table(nsfnet)
+
+
+@pytest.fixture(scope="session")
+def nsfnet_table_h6(nsfnet):
+    return build_path_table(nsfnet, max_hops=6)
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Short, few-seed replication config keeping simulation tests quick."""
+    return ReplicationConfig(measured_duration=20.0, warmup=5.0, seeds=(0, 1))

@@ -1,0 +1,180 @@
+"""Tests for the two-tier (alternate-routing) reduced-load fixed point."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.alternate_fixed_point import alternate_routing_fixed_point
+from repro.analysis.fixed_point import erlang_fixed_point
+from repro.routing.alternate import ControlledAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import line, quadrangle
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+def zero_levels(network):
+    return np.zeros(network.num_links, dtype=np.int64)
+
+
+class TestDegenerateCases:
+    def test_no_alternates_reduces_to_classical_fixed_point(self):
+        # On a line there are no alternates: the two-tier model must agree
+        # with the classical single-path Erlang fixed point.
+        net = line(3, 8)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 6.0, (2, 0): 3.0})
+        classical = erlang_fixed_point(net, table, traffic)
+        two_tier = alternate_routing_fixed_point(net, table, traffic, zero_levels(net))
+        assert two_tier.converged
+        assert two_tier.network_blocking == pytest.approx(
+            classical.network_blocking, rel=1e-4
+        )
+        assert two_tier.full_probability == pytest.approx(
+            classical.link_blocking, abs=1e-5
+        )
+
+    def test_single_isolated_link(self):
+        net = line(2, 10)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 1): 8.0}, num_nodes=2)
+        result = alternate_routing_fixed_point(net, table, traffic, zero_levels(net))
+        from repro.core.erlang import erlang_b
+
+        assert result.network_blocking == pytest.approx(erlang_b(8.0, 10), rel=1e-6)
+
+    def test_zero_traffic(self):
+        net = quadrangle(10)
+        table = build_path_table(net)
+        traffic = TrafficMatrix(np.zeros((4, 4)))
+        result = alternate_routing_fixed_point(net, table, traffic, zero_levels(net))
+        assert result.network_blocking == 0.0
+        assert (result.overflow_rates == 0.0).all()
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("per_pair", [90.0, 100.0])
+    def test_controlled_scheme_matches_simulation(self, quad_network, quad_table, per_pair):
+        traffic = uniform_traffic(4, per_pair)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        policy = ControlledAlternateRouting(quad_network, quad_table, loads)
+        fp = alternate_routing_fixed_point(
+            quad_network, quad_table, traffic, policy.protection_levels
+        )
+        sims = [
+            simulate(
+                quad_network, policy, generate_trace(traffic, 110.0, seed), 10.0
+            ).network_blocking
+            for seed in range(3)
+        ]
+        assert fp.converged
+        assert fp.network_blocking == pytest.approx(float(np.mean(sims)), rel=0.35)
+
+    def test_uncontrolled_collapse_predicted(self, quad_network, quad_table):
+        # Past the critical load the r=0 fixed point lands on the high-
+        # blocking branch — worse than the protected fixed point, as the
+        # mean-field story requires.
+        traffic = uniform_traffic(4, 100.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        policy = ControlledAlternateRouting(quad_network, quad_table, loads)
+        unprotected = alternate_routing_fixed_point(
+            quad_network, quad_table, traffic, zero_levels(quad_network)
+        )
+        protected = alternate_routing_fixed_point(
+            quad_network, quad_table, traffic, policy.protection_levels
+        )
+        assert unprotected.network_blocking > protected.network_blocking
+        assert unprotected.overflow_rates.max() > protected.overflow_rates.max()
+
+
+class TestStructure:
+    def test_blocking_monotone_in_load(self, quad_network, quad_table):
+        values = []
+        for per_pair in (70.0, 90.0, 110.0):
+            traffic = uniform_traffic(4, per_pair)
+            loads = primary_link_loads(quad_network, quad_table, traffic)
+            policy = ControlledAlternateRouting(quad_network, quad_table, loads)
+            values.append(
+                alternate_routing_fixed_point(
+                    quad_network, quad_table, traffic, policy.protection_levels
+                ).network_blocking
+            )
+        assert values[0] < values[1] < values[2]
+
+    def test_protected_probability_dominates_full(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 95.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        policy = ControlledAlternateRouting(quad_network, quad_table, loads)
+        result = alternate_routing_fixed_point(
+            quad_network, quad_table, traffic, policy.protection_levels
+        )
+        assert (result.protected_probability >= result.full_probability - 1e-12).all()
+
+    def test_pair_blocking_in_unit_interval(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 95.0)
+        result = alternate_routing_fixed_point(
+            quad_network, quad_table, traffic, zero_levels(quad_network)
+        )
+        for value in result.pair_blocking.values():
+            assert 0.0 <= value <= 1.0
+
+    def test_validation(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 10.0)
+        with pytest.raises(ValueError):
+            alternate_routing_fixed_point(
+                quad_network, quad_table, traffic, np.zeros(3, dtype=np.int64)
+            )
+        with pytest.raises(ValueError):
+            alternate_routing_fixed_point(
+                quad_network,
+                quad_table,
+                traffic,
+                np.full(quad_network.num_links, 101, dtype=np.int64),
+            )
+        with pytest.raises(ValueError):
+            alternate_routing_fixed_point(
+                quad_network, quad_table, traffic,
+                zero_levels(quad_network), damping=0.0,
+            )
+
+    def test_demand_without_path_rejected(self):
+        net = line(3, 5)
+        net.fail_duplex_link(1, 2)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 1.0})
+        with pytest.raises(ValueError):
+            alternate_routing_fixed_point(net, table, traffic, zero_levels(net))
+
+
+class TestRandomMeshProperties:
+    def test_converges_and_bounded_on_random_meshes(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.topology.generators import random_mesh
+        from repro.traffic.generators import gravity_traffic
+
+        @settings(max_examples=10, deadline=None)
+        @given(
+            seed=st.integers(min_value=0, max_value=200),
+            load_scale=st.floats(min_value=5.0, max_value=60.0),
+        )
+        def check(seed, load_scale):
+            net = random_mesh(6, 4, 15, seed=seed)
+            table = build_path_table(net, max_hops=4)
+            weights = [1.0 + 0.5 * n for n in range(6)]
+            traffic = gravity_traffic(weights, total=load_scale * 6)
+            result = alternate_routing_fixed_point(
+                net, table, traffic, zero_levels(net), max_iterations=4000
+            )
+            assert 0.0 <= result.network_blocking <= 1.0
+            assert (result.full_probability >= 0).all()
+            assert (result.full_probability <= 1).all()
+            assert (result.protected_probability >= result.full_probability - 1e-9).all()
+
+        check()

@@ -1,0 +1,86 @@
+"""Tests for the symmetric mean-field bistability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bistability import (
+    bistable_loads,
+    find_fixed_points,
+    mean_field_map,
+    network_blocking,
+)
+from repro.core.erlang import erlang_b
+
+
+class TestMeanFieldMap:
+    def test_no_overflow_reduces_to_erlang(self):
+        # Starting from E = 0 there is no overflow, so the first iterate is
+        # the plain M/M/C/C statistics.
+        direct, protected = mean_field_map(100.0, 120, 0, (0.0, 0.0))
+        assert direct == pytest.approx(erlang_b(100.0, 120), rel=1e-9)
+        assert protected == pytest.approx(direct)  # r = 0: F = E
+
+    def test_protected_mass_at_least_direct(self):
+        direct, protected = mean_field_map(110.0, 120, 10, (0.3, 0.4))
+        assert protected >= direct
+
+    def test_overflow_raises_blocking(self):
+        quiet, __ = mean_field_map(100.0, 120, 0, (0.0, 0.0))
+        busy, __ = mean_field_map(100.0, 120, 0, (0.5, 0.0), max_attempts=5)
+        assert busy > quiet
+
+
+class TestNetworkBlocking:
+    def test_zero_state(self):
+        assert network_blocking((0.0, 0.0)) == 0.0
+
+    def test_saturated_state(self):
+        assert network_blocking((1.0, 1.0)) == 1.0
+
+    def test_retries_reduce_end_to_end_blocking(self):
+        state = (0.3, 0.3)
+        assert network_blocking(state, max_attempts=5) < network_blocking(state, 1)
+
+
+class TestFixedPoints:
+    def test_light_load_unique_and_small(self):
+        points = find_fixed_points(60.0, 120, 0, max_attempts=5)
+        assert len(points) == 1
+        assert points[0].blocking < 1e-6
+
+    def test_bistability_without_reservation(self):
+        # The classical phenomenon (Akinpelu [1], Gibbens-Hunt-Kelly [10]):
+        # just below capacity, with alternates retried, two stable operating
+        # points coexist.
+        points = find_fixed_points(104.0, 120, 0, max_attempts=5)
+        assert len(points) >= 2
+        low, high = points[0], points[-1]
+        assert low.blocking < 0.01
+        assert high.blocking > 0.1
+        # The high point carries most calls on two links: heavy overflow.
+        assert high.overflow_rate > 10 * low.overflow_rate
+
+    def test_reservation_removes_bistability(self):
+        loads = [95.0, 100.0, 104.0, 108.0]
+        assert bistable_loads(120, 0, loads, max_attempts=5)
+        assert bistable_loads(120, 5, loads, max_attempts=5) == []
+        assert bistable_loads(120, 12, loads, max_attempts=5) == []
+
+    def test_fixed_points_are_consistent(self):
+        for load in (80.0, 104.0, 130.0):
+            for point in find_fixed_points(load, 120, 0, max_attempts=5):
+                state = (point.direct_blocking, point.protection_occupancy)
+                image = mean_field_map(load, 120, 0, state, max_attempts=5)
+                assert image[0] == pytest.approx(state[0], abs=1e-6)
+                assert image[1] == pytest.approx(state[1], abs=1e-6)
+
+    def test_heavy_overload_unique_high_point(self):
+        points = find_fixed_points(140.0, 120, 0, max_attempts=5)
+        assert len(points) == 1
+        assert points[0].blocking > 0.1
+
+    def test_sorted_by_blocking(self):
+        points = find_fixed_points(104.0, 120, 0, max_attempts=5)
+        blockings = [p.blocking for p in points]
+        assert blockings == sorted(blockings)

@@ -1,0 +1,99 @@
+"""Tests for the traffic-matrix calibration (the reproduction's substitution)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import fully_connected
+from repro.topology.nsfnet import NSFNET_TABLE1_LOADS, nsfnet_backbone
+from repro.topology.paths import build_path_table
+from repro.traffic.calibration import calibrate_traffic, nsfnet_nominal_traffic
+from repro.traffic.demand import loads_by_endpoints, primary_link_loads
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestCalibrateTraffic:
+    def test_roundtrip_on_synthetic_demand(self):
+        # Build a known matrix, derive its loads, calibrate back: the loads
+        # (not necessarily the matrix — the system is underdetermined) must
+        # be recovered exactly.
+        net = fully_connected(4, 50)
+        table = build_path_table(net)
+        truth = TrafficMatrix({(0, 1): 5.0, (2, 3): 7.0, (1, 3): 2.0})
+        targets = loads_by_endpoints(net, primary_link_loads(net, table, truth))
+        result = calibrate_traffic(net, targets)
+        assert result.residual == pytest.approx(0.0, abs=1e-9)
+        recovered = loads_by_endpoints(
+            net, primary_link_loads(net, table, result.traffic)
+        )
+        for endpoints, value in targets.items():
+            assert recovered[endpoints] == pytest.approx(value, abs=1e-9)
+
+    def test_missing_target_rejected(self):
+        net = fully_connected(3, 10)
+        with pytest.raises(ValueError):
+            calibrate_traffic(net, {(0, 1): 1.0})
+
+    def test_prior_spreads_demand(self):
+        net = fully_connected(4, 50)
+        table = build_path_table(net)
+        truth = TrafficMatrix({(0, 1): 6.0, (2, 3): 6.0})
+        targets = loads_by_endpoints(net, primary_link_loads(net, table, truth))
+        prior = np.full((4, 4), 0.5)
+        np.fill_diagonal(prior, 0.0)
+        result = calibrate_traffic(net, targets, prior=prior)
+        positive = sum(1 for __ in result.traffic.positive_pairs())
+        assert positive > 2  # more pairs than the sparse truth
+        assert result.max_load_error(targets) < 0.5
+
+    def test_prior_shape_checked(self):
+        net = fully_connected(3, 10)
+        table = build_path_table(net)
+        truth = TrafficMatrix({(0, 1): 1.0})
+        targets = loads_by_endpoints(net, primary_link_loads(net, table, truth))
+        with pytest.raises(ValueError):
+            calibrate_traffic(net, targets, prior=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            calibrate_traffic(net, targets, prior=-np.ones((3, 3)))
+        with pytest.raises(ValueError):
+            calibrate_traffic(net, targets, prior=np.zeros((3, 3)), smoothing=0.0)
+
+
+class TestNominalNsfnetTraffic:
+    def test_all_pairs_positive(self):
+        traffic = nsfnet_nominal_traffic()
+        assert sum(1 for __ in traffic.positive_pairs()) == 132
+
+    def test_loads_round_to_table1(self):
+        net = nsfnet_backbone()
+        table = build_path_table(net)
+        traffic = nsfnet_nominal_traffic()
+        loads = loads_by_endpoints(net, primary_link_loads(net, table, traffic))
+        for endpoints, printed in NSFNET_TABLE1_LOADS.items():
+            assert round(loads[endpoints]) == printed
+
+    def test_load_error_well_inside_rounding(self):
+        net = nsfnet_backbone()
+        table = build_path_table(net)
+        traffic = nsfnet_nominal_traffic()
+        loads = loads_by_endpoints(net, primary_link_loads(net, table, traffic))
+        worst = max(
+            abs(loads[endpoints] - printed)
+            for endpoints, printed in NSFNET_TABLE1_LOADS.items()
+        )
+        assert worst < 0.01
+
+    def test_cached_instance_is_stable(self):
+        a = nsfnet_nominal_traffic()
+        b = nsfnet_nominal_traffic()
+        assert a is b
+        # Scaling must not mutate the cached matrix.
+        a.scaled(2.0)
+        assert a == nsfnet_nominal_traffic()
+
+    def test_wide_disparities_like_the_paper(self):
+        # "Note the wide disparities in the values of the elements of T."
+        traffic = nsfnet_nominal_traffic()
+        values = [v for __, v in traffic.positive_pairs()]
+        assert max(values) / np.median(values) > 3.0

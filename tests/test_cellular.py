@@ -1,0 +1,145 @@
+"""Tests for the channel-borrowing extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cellular.channel_borrowing import (
+    FREE_BORROWING,
+    NO_BORROWING,
+    PROTECTED_BORROWING,
+    HexCellGrid,
+    protection_levels_for_grid,
+    simulate_cellular,
+)
+
+
+class TestHexCellGrid:
+    def test_cell_count(self):
+        assert HexCellGrid(3, 4, 10).num_cells == 12
+
+    def test_interior_cell_has_six_neighbors(self):
+        grid = HexCellGrid(5, 5, 10)
+        interior = 2 * 5 + 2
+        assert len(grid.neighbors(interior)) == 6
+
+    def test_corner_cells_have_fewer_neighbors(self):
+        grid = HexCellGrid(3, 3, 10)
+        assert len(grid.neighbors(0)) < 6
+
+    def test_neighbor_relation_symmetric(self):
+        grid = HexCellGrid(4, 5, 10)
+        for cell in range(grid.num_cells):
+            for neighbor in grid.neighbors(cell):
+                assert cell in grid.neighbors(neighbor)
+
+    def test_borrow_resource_set_contains_lender(self):
+        grid = HexCellGrid(4, 4, 10)
+        for cell in range(grid.num_cells):
+            for lender in grid.neighbors(cell):
+                resource_set = grid.borrow_resource_set(cell, lender)
+                assert lender in resource_set
+                assert cell not in resource_set
+
+    def test_interior_resource_set_is_three_cells(self):
+        # The paper's "co-cell set consists of 3-cells" situation.
+        grid = HexCellGrid(5, 5, 10)
+        interior = 2 * 5 + 2
+        sizes = [
+            len(grid.borrow_resource_set(interior, lender))
+            for lender in grid.neighbors(interior)
+        ]
+        assert all(size == 3 for size in sizes)
+
+    def test_effective_h_is_three(self):
+        assert HexCellGrid(4, 4, 10).max_resource_set_size() == 3
+
+    def test_non_neighbor_borrow_rejected(self):
+        grid = HexCellGrid(3, 3, 10)
+        with pytest.raises(ValueError):
+            grid.borrow_resource_set(0, 8)
+
+    def test_degenerate_grid_rejected(self):
+        with pytest.raises(ValueError):
+            HexCellGrid(0, 3, 10)
+        with pytest.raises(ValueError):
+            HexCellGrid(3, 3, 0)
+
+
+class TestProtectionLevels:
+    def test_levels_small_at_moderate_load(self):
+        # Paper: r for H=3 is quite small for C ~ 50.
+        grid = HexCellGrid(4, 4, 50)
+        loads = np.full(grid.num_cells, 35.0)
+        levels = protection_levels_for_grid(grid, loads)
+        assert (levels <= 5).all()
+        assert (levels >= 0).all()
+
+
+class TestSimulation:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return HexCellGrid(4, 4, 20)
+
+    def test_accounting(self, grid):
+        loads = np.full(grid.num_cells, 18.0)
+        result = simulate_cellular(grid, loads, FREE_BORROWING, duration=40.0, seed=0)
+        assert result.home_carried + result.borrowed_carried + result.blocked == result.offered
+
+    def test_no_borrowing_never_borrows(self, grid):
+        loads = np.full(grid.num_cells, 25.0)
+        result = simulate_cellular(grid, loads, NO_BORROWING, duration=40.0, seed=1)
+        assert result.borrowed_carried == 0
+        assert result.blocked > 0
+
+    def test_borrowing_helps_under_imbalance(self, grid):
+        # One hot cell in a cold neighborhood: borrowing rescues calls.
+        loads = np.full(grid.num_cells, 2.0)
+        loads[5] = 40.0
+        blocked = simulate_cellular(grid, loads, NO_BORROWING, duration=60.0, seed=2)
+        protected = simulate_cellular(grid, loads, PROTECTED_BORROWING, duration=60.0, seed=2)
+        assert protected.blocking < blocked.blocking
+        assert protected.borrowed_carried > 0
+
+    def test_protected_not_worse_than_no_borrowing_under_overload(self, grid):
+        # The Theorem-1 guarantee, at uniform overload, across seeds.
+        loads = np.full(grid.num_cells, 26.0)
+        deltas = []
+        for seed in range(4):
+            base = simulate_cellular(grid, loads, NO_BORROWING, duration=60.0, seed=seed)
+            prot = simulate_cellular(grid, loads, PROTECTED_BORROWING, duration=60.0, seed=seed)
+            deltas.append(base.blocking - prot.blocking)
+        assert np.mean(deltas) > -0.01
+
+    def test_deterministic_per_seed(self, grid):
+        loads = np.full(grid.num_cells, 15.0)
+        a = simulate_cellular(grid, loads, FREE_BORROWING, duration=30.0, seed=7)
+        b = simulate_cellular(grid, loads, FREE_BORROWING, duration=30.0, seed=7)
+        assert a == b
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            simulate_cellular(grid, np.full(3, 1.0), NO_BORROWING)
+        with pytest.raises(ValueError):
+            simulate_cellular(grid, np.full(grid.num_cells, -1.0), NO_BORROWING)
+        with pytest.raises(ValueError):
+            simulate_cellular(
+                grid, np.full(grid.num_cells, 1.0), NO_BORROWING, duration=10.0, warmup=10.0
+            )
+
+
+class TestProtectionLevelsMixedLoads:
+    def test_levels_track_per_cell_load(self):
+        grid = HexCellGrid(4, 4, 50)
+        loads = np.full(grid.num_cells, 10.0)
+        loads[5] = 45.0
+        levels = protection_levels_for_grid(grid, loads)
+        # The hot cell protects more than the cold ones.
+        assert levels[5] > levels[0]
+        assert levels[0] >= 0
+
+    def test_zero_load_zero_protection(self):
+        grid = HexCellGrid(3, 3, 20)
+        levels = protection_levels_for_grid(grid, np.zeros(grid.num_cells))
+        assert (levels == 0).all()

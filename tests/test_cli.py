@@ -1,0 +1,66 @@
+"""Tests for the repro-routing command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("figure2", "table1", "quadrangle", "nsfnet", "theorem1"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_nsfnet_flags(self):
+        args = build_parser().parse_args(["nsfnet", "--hops", "6", "--seeds", "2"])
+        assert args.hops == 6
+        assert args.seeds == 2
+
+
+class TestCommands:
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--step", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "r(H=120)" in out
+        assert "50" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "10->11" in out
+        assert "agreement" in out
+
+    def test_theorem1(self, capsys):
+        assert main(["theorem1", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("yes") == 3
+        assert " NO" not in out
+
+    def test_quadrangle_tiny(self, capsys):
+        assert main(["quadrangle", "--seeds", "1", "--duration", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "controlled" in out
+
+    def test_nsfnet_tiny(self, capsys):
+        assert main(["nsfnet", "--seeds", "1", "--duration", "5", "--hops", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "H=6" in out
+
+    def test_census(self, capsys):
+        assert main(["census", "--hops", "6", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "mean" in out
+        assert "11" in out
+
+    def test_bistability(self, capsys):
+        assert main(["bistability", "--loads", "104", "--attempts", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "#fp(r=0)" in out
+        assert "2" in out  # bistable at 104

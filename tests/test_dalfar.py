@@ -1,0 +1,81 @@
+"""Tests for the DALFAR-style distributed route computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.dalfar import compute_distance_vectors, dalfar_routes
+from repro.topology.generators import fully_connected, grid, random_mesh, ring
+from repro.topology.graph import Network
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import min_hop_distances, simple_paths_by_length
+
+MESHES = [
+    fully_connected(4, 1),
+    ring(7, 1),
+    grid(3, 4, 1),
+    random_mesh(9, 4, 1, seed=5),
+    nsfnet_backbone(),
+]
+
+
+class TestDistanceVectors:
+    @pytest.mark.parametrize("network", MESHES)
+    def test_converged_distances_match_bfs(self, network):
+        tables = compute_distance_vectors(network)
+        for node in network.nodes():
+            bfs = min_hop_distances(network, node)
+            for dst in network.nodes():
+                assert tables.distance(node, dst) == bfs[dst]
+
+    def test_rounds_bounded_by_diameter(self):
+        network = ring(8, 1)
+        tables = compute_distance_vectors(network)
+        # Ring of 8: diameter 4; one extra quiescence round.
+        assert tables.rounds <= 5 + 1
+
+    def test_table_copy_is_defensive(self):
+        network = ring(4, 1)
+        tables = compute_distance_vectors(network)
+        copy = tables.table(0)
+        copy[1] = -99
+        assert tables.distance(0, 1) == 1
+
+    def test_unreachable_stays_infinite(self):
+        net = Network(3)
+        net.add_link(0, 1, 1)
+        tables = compute_distance_vectors(net)
+        assert tables.distance(1, 0) == float("inf")
+        assert tables.distance(0, 2) == float("inf")
+
+
+class TestDalfarRoutes:
+    @pytest.mark.parametrize("network", MESHES)
+    def test_equals_centralized_enumeration(self, network):
+        pairs = [(0, network.num_nodes - 1), (1, 2), (network.num_nodes - 1, 0)]
+        for max_hops in (2, 4, None):
+            for src, dst in pairs:
+                assert dalfar_routes(network, src, dst, max_hops) == (
+                    simple_paths_by_length(network, src, dst, max_hops)
+                )
+
+    def test_shared_tables_accepted(self):
+        network = ring(5, 1)
+        tables = compute_distance_vectors(network)
+        routes = dalfar_routes(network, 0, 2, tables=tables)
+        assert routes == simple_paths_by_length(network, 0, 2)
+
+    def test_infeasible_budget_empty(self):
+        network = ring(6, 1)  # distance 0 -> 3 is 3
+        assert dalfar_routes(network, 0, 3, max_hops=2) == []
+
+    def test_same_node_rejected(self):
+        with pytest.raises(ValueError):
+            dalfar_routes(ring(4, 1), 1, 1)
+
+    def test_respects_failed_links(self):
+        network = nsfnet_backbone()
+        network.fail_duplex_link(2, 3)
+        routes = dalfar_routes(network, 2, 3, max_hops=None)
+        assert routes == simple_paths_by_length(network, 2, 3)
+        assert all(len(path) > 2 for path in routes)

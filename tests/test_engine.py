@@ -1,0 +1,101 @@
+"""Tests for the generic discrete-event queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda q, p: fired.append(p), "late")
+        queue.schedule(1.0, lambda q, p: fired.append(p), "early")
+        queue.schedule(2.0, lambda q, p: fired.append(p), "middle")
+        assert queue.run() == 3
+        assert fired == ["early", "middle", "late"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in "abc":
+            queue.schedule(1.0, lambda q, p: fired.append(p), label)
+        queue.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda q, p: seen.append(q.now), None)
+        queue.run()
+        assert seen == [5.0]
+        assert queue.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(2.0, lambda q, p: None)
+        queue.run()
+        with pytest.raises(ValueError):
+            queue.schedule(1.0, lambda q, p: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_in(-1.0, lambda q, p: None)
+
+    def test_callbacks_can_schedule_more(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain(q, depth):
+            fired.append(depth)
+            if depth < 3:
+                q.schedule_in(1.0, chain, depth + 1)
+
+        queue.schedule(0.0, chain, 0)
+        assert queue.run() == 4
+        assert fired == [0, 1, 2, 3]
+        assert queue.now == 3.0
+
+
+class TestRunUntil:
+    def test_until_leaves_later_events_queued(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda q, p: fired.append(1), None)
+        queue.schedule(10.0, lambda q, p: fired.append(10), None)
+        assert queue.run(until=5.0) == 1
+        assert fired == [1]
+        assert queue.now == 5.0
+        assert len(queue) == 1
+        queue.run()
+        assert fired == [1, 10]
+
+    def test_reentrant_run_rejected(self):
+        queue = EventQueue()
+
+        def recurse(q, p):
+            q.run()
+
+        queue.schedule(1.0, recurse)
+        with pytest.raises(RuntimeError):
+            queue.run()
+
+
+class TestBoundaryTiming:
+    def test_until_includes_events_at_exactly_until(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(5.0, lambda q, p: fired.append(p), "at")
+        queue.run(until=5.0)
+        assert fired == ["at"]
+
+    def test_len_reflects_pending_events(self):
+        queue = EventQueue()
+        assert len(queue) == 0
+        queue.schedule(1.0, lambda q, p: None)
+        queue.schedule(2.0, lambda q, p: None)
+        assert len(queue) == 2
+        queue.run()
+        assert len(queue) == 0

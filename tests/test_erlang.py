@@ -1,0 +1,171 @@
+"""Unit tests for the Erlang blocking functions."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import (
+    erlang_b,
+    erlang_b_derivative,
+    erlang_b_fixed_capacity_solve,
+    erlang_b_inverse_sequence,
+    erlang_b_sequence,
+    expected_lost_calls,
+    expected_lost_calls_derivative,
+    generalized_erlang_b,
+)
+
+
+def erlang_b_by_sum(load: float, capacity: int) -> float:
+    """Direct evaluation of the defining sum, for cross-checking."""
+    terms = [load**k / math.factorial(k) for k in range(capacity + 1)]
+    return terms[-1] / sum(terms)
+
+
+class TestErlangB:
+    def test_single_server(self):
+        # B(a, 1) = a / (1 + a)
+        for load in (0.1, 1.0, 5.0, 50.0):
+            assert erlang_b(load, 1) == pytest.approx(load / (1 + load))
+
+    def test_against_defining_sum(self):
+        for load in (0.5, 3.0, 10.0, 42.0, 95.0):
+            for capacity in (1, 2, 5, 20, 100):
+                assert erlang_b(load, capacity) == pytest.approx(
+                    erlang_b_by_sum(load, capacity), rel=1e-12
+                )
+
+    def test_classical_table_value(self):
+        # B(10 Erlangs, 10 servers) is the textbook 0.2146 (4 d.p.).
+        assert erlang_b(10.0, 10) == pytest.approx(0.2146, abs=5e-5)
+
+    def test_zero_capacity_blocks_everything(self):
+        assert erlang_b(5.0, 0) == 1.0
+        assert erlang_b(0.0, 0) == 1.0
+
+    def test_zero_load_never_blocks(self):
+        assert erlang_b(0.0, 1) == 0.0
+        assert erlang_b(0.0, 50) == 0.0
+
+    def test_monotone_increasing_in_load(self):
+        values = [erlang_b(load, 30) for load in np.linspace(1, 100, 25)]
+        assert all(b2 > b1 for b1, b2 in zip(values, values[1:]))
+
+    def test_monotone_decreasing_in_capacity(self):
+        values = [erlang_b(20.0, c) for c in range(1, 50)]
+        assert all(b2 < b1 for b1, b2 in zip(values, values[1:]))
+
+    def test_bounded_in_unit_interval(self):
+        for load in (0.01, 1.0, 500.0):
+            for capacity in (1, 10, 200):
+                assert 0.0 <= erlang_b(load, capacity) <= 1.0
+
+    def test_large_capacity_is_stable(self):
+        # The inverse recursion must not overflow or lose positivity.
+        value = erlang_b(900.0, 1000)
+        assert 0.0 < value < 1e-3
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(ValueError):
+            erlang_b(-1.0, 5)
+
+    def test_rejects_fractional_capacity(self):
+        with pytest.raises(ValueError):
+            erlang_b(1.0, 2.5)  # type: ignore[arg-type]
+
+    def test_rejects_nan_load(self):
+        with pytest.raises(ValueError):
+            erlang_b(float("nan"), 5)
+
+
+class TestSequences:
+    def test_sequence_matches_scalar(self):
+        seq = erlang_b_sequence(12.0, 30)
+        for capacity in (0, 1, 7, 30):
+            assert seq[capacity] == pytest.approx(erlang_b(12.0, capacity))
+
+    def test_inverse_sequence_recursion(self):
+        y = erlang_b_inverse_sequence(8.0, 20)
+        for x in range(1, 21):
+            assert y[x] == pytest.approx(1.0 + (x / 8.0) * y[x - 1])
+
+    def test_zero_load_sequence(self):
+        seq = erlang_b_sequence(0.0, 4)
+        assert seq[0] == 1.0
+        assert (seq[1:] == 0.0).all()
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("load,capacity", [(2.0, 3), (10.0, 10), (80.0, 100), (130.0, 100)])
+    def test_derivative_matches_finite_difference(self, load, capacity):
+        h = 1e-6 * load
+        numeric = (erlang_b(load + h, capacity) - erlang_b(load - h, capacity)) / (2 * h)
+        assert erlang_b_derivative(load, capacity) == pytest.approx(numeric, rel=1e-4)
+
+    def test_lost_calls_derivative_matches_finite_difference(self):
+        load, capacity = 45.0, 50
+        h = 1e-5
+        numeric = (
+            expected_lost_calls(load + h, capacity) - expected_lost_calls(load - h, capacity)
+        ) / (2 * h)
+        assert expected_lost_calls_derivative(load, capacity) == pytest.approx(
+            numeric, rel=1e-5
+        )
+
+    def test_lost_calls_is_convex(self):
+        # Krishnan [23]: Lambda * B(Lambda, C) is convex in Lambda.
+        capacity = 20
+        loads = np.linspace(0.5, 60, 120)
+        values = [expected_lost_calls(load, capacity) for load in loads]
+        second_diff = np.diff(values, 2)
+        assert (second_diff > -1e-9).all()
+
+    def test_zero_capacity_derivative(self):
+        assert erlang_b_derivative(3.0, 0) == 0.0
+
+
+class TestGeneralizedErlangB:
+    def test_constant_rates_reduce_to_classical(self):
+        for load in (1.0, 7.5, 30.0):
+            for capacity in (1, 5, 25):
+                rates = [load] * capacity
+                assert generalized_erlang_b(rates) == pytest.approx(
+                    erlang_b(load, capacity), rel=1e-12
+                )
+
+    def test_empty_rate_vector_is_full_block(self):
+        assert generalized_erlang_b([]) == 1.0
+
+    def test_increasing_rates_raise_blocking(self):
+        flat = generalized_erlang_b([5.0, 5.0, 5.0])
+        rising = generalized_erlang_b([5.0, 10.0, 20.0])
+        assert rising > flat
+
+    def test_zero_top_rate_empties_top_state(self):
+        assert generalized_erlang_b([5.0, 5.0, 0.0]) == 0.0
+
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ValueError):
+            generalized_erlang_b([1.0, -0.5])
+
+    def test_huge_rates_do_not_overflow(self):
+        value = generalized_erlang_b([1e6] * 50)
+        assert 0.9 < value <= 1.0
+
+
+class TestInverseSolve:
+    def test_roundtrip(self):
+        for target in (0.001, 0.05, 0.5, 0.95):
+            load = erlang_b_fixed_capacity_solve(target, 25)
+            assert erlang_b(load, 25) == pytest.approx(target, rel=1e-8)
+
+    def test_rejects_degenerate_targets(self):
+        with pytest.raises(ValueError):
+            erlang_b_fixed_capacity_solve(0.0, 10)
+        with pytest.raises(ValueError):
+            erlang_b_fixed_capacity_solve(1.0, 10)
+        with pytest.raises(ValueError):
+            erlang_b_fixed_capacity_solve(0.1, 0)

@@ -1,0 +1,98 @@
+"""Tests for the cut-set Erlang lower bound."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.erlang_bound import (
+    cut_bound_term,
+    erlang_bound,
+    single_node_cut_bound,
+)
+from repro.core.erlang import erlang_b
+from repro.routing.single_path import SinglePathRouting
+from repro.routing.alternate import UncontrolledAlternateRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import fully_connected, line
+from repro.topology.graph import Network
+from repro.topology.paths import build_path_table
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestCutBoundTerm:
+    def test_two_node_network_is_exact_erlang(self):
+        net = line(2, 10)
+        traffic = TrafficMatrix({(0, 1): 8.0, (1, 0): 4.0})
+        term = cut_bound_term(net, traffic, {0})
+        expected = (8.0 / 12.0) * erlang_b(8.0, 10) + (4.0 / 12.0) * erlang_b(4.0, 10)
+        assert term == pytest.approx(expected)
+
+    def test_improper_cut_rejected(self):
+        net = line(2, 10)
+        traffic = TrafficMatrix({(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            cut_bound_term(net, traffic, set())
+        with pytest.raises(ValueError):
+            cut_bound_term(net, traffic, {0, 1})
+
+    def test_zero_traffic(self):
+        net = line(2, 10)
+        import numpy as np
+
+        traffic = TrafficMatrix(np.zeros((2, 2)))
+        assert cut_bound_term(net, traffic, {0}) == 0.0
+
+    def test_capacity_across_cut_pools_links(self):
+        # Two parallel disjoint routes across the cut pool their capacity.
+        net = Network(4)
+        net.add_link(0, 2, 5)
+        net.add_link(1, 3, 5)
+        traffic = TrafficMatrix({(0, 2): 8.0, (1, 3): 8.0})
+        term = cut_bound_term(net, traffic, {0, 1})
+        assert term == pytest.approx(erlang_b(16.0, 10))
+
+
+class TestErlangBound:
+    def test_exhaustive_at_least_single_node(self, nsfnet):
+        from repro.traffic.calibration import nsfnet_nominal_traffic
+
+        traffic = nsfnet_nominal_traffic()
+        assert erlang_bound(nsfnet, traffic) >= single_node_cut_bound(nsfnet, traffic)
+
+    def test_monotone_in_load(self, quad_network):
+        values = [
+            erlang_bound(quad_network, uniform_traffic(4, load))
+            for load in (60.0, 80.0, 100.0, 120.0)
+        ]
+        assert all(b2 > b1 for b1, b2 in zip(values, values[1:]))
+
+    def test_large_networks_rejected(self):
+        net = fully_connected(23, 1)
+        traffic = uniform_traffic(23, 1.0)
+        with pytest.raises(ValueError):
+            erlang_bound(net, traffic)
+
+    def test_failed_links_reduce_cut_capacity(self, quad_network):
+        traffic = uniform_traffic(4, 90.0)
+        baseline = erlang_bound(quad_network, traffic)
+        failed = quad_network.copy()
+        failed.fail_duplex_link(0, 1)
+        assert erlang_bound(failed, traffic) > baseline
+
+
+class TestBoundIsALowerBound:
+    @pytest.mark.parametrize("policy_cls", [SinglePathRouting, UncontrolledAlternateRouting])
+    def test_simulated_blocking_respects_bound(self, quad_network, quad_table, policy_cls):
+        # Statistical check at heavy load where both sides are well away
+        # from zero: no scheme may beat the Erlang bound systematically.
+        traffic = uniform_traffic(4, 110.0)
+        bound = erlang_bound(quad_network, traffic)
+        policy = policy_cls(quad_network, quad_table)
+        values = []
+        for seed in range(4):
+            trace = generate_trace(traffic, 60.0, seed)
+            values.append(simulate(quad_network, policy, trace).network_blocking)
+        mean = sum(values) / len(values)
+        assert mean >= bound * 0.95

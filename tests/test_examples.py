@@ -1,0 +1,50 @@
+"""Smoke tests for the runnable examples.
+
+Every example must at least compile; the quickest one runs end to end as a
+subprocess (the remaining examples are exercised by the benchmark suite's
+equivalent code paths and run in seconds from the shell).
+"""
+
+from __future__ import annotations
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    names = {path.name for path in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "quadrangle_overload.py",
+        "nsfnet_study.py",
+        "qos_video_network.py",
+        "cellular_borrowing.py",
+        "multiclass_qos.py",
+        "capacity_planning.py",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+def test_quickstart_runs_end_to_end():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    out = completed.stdout
+    assert "single-path" in out
+    assert "controlled" in out
+    assert "protection levels" in out

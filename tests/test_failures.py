@@ -1,0 +1,66 @@
+"""Tests for link-failure scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.failures import FailureScenario, apply_failures
+from repro.topology.generators import line
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.traffic.calibration import nsfnet_nominal_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestFailureScenario:
+    def test_describe(self):
+        scenario = FailureScenario(((2, 3),), name="paper")
+        assert scenario.describe() == "paper: 2<->3"
+        assert FailureScenario((), name="none").describe() == "none: none"
+
+
+class TestApplyFailures:
+    def test_original_network_untouched(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        scenario = FailureScenario(((2, 3),))
+        failed = apply_failures(nsfnet, traffic, scenario)
+        assert not nsfnet.failed_links
+        assert len(failed.network.failed_links) == 2
+
+    def test_routes_avoid_failed_links(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        failed = apply_failures(nsfnet, traffic, FailureScenario(((2, 3),)))
+        # Pair (2, 3) must now route the long way round.
+        primary = failed.table.primary[(2, 3)]
+        assert len(primary) > 2
+        assert failed.network.is_valid_path(primary)
+
+    def test_loads_rederived(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        intact_loads = apply_failures(nsfnet, traffic, FailureScenario(()))
+        failed = apply_failures(nsfnet, traffic, FailureScenario(((2, 3),)))
+        # Demand leaves the failed corridor and lands elsewhere.
+        assert not np.allclose(failed.primary_loads, intact_loads.primary_loads)
+        failed_indices = [
+            link.index for link in failed.network.links if link.endpoints in ((2, 3), (3, 2))
+        ]
+        assert all(failed.primary_loads[i] == 0.0 for i in failed_indices)
+        # Total link-load mass can only grow: rerouted paths are no shorter.
+        assert failed.primary_loads.sum() >= intact_loads.primary_loads.sum()
+
+    def test_disconnected_demand_tolerated(self):
+        net = line(3, 5)
+        traffic = TrafficMatrix({(0, 2): 4.0})
+        failed = apply_failures(net, traffic, FailureScenario(((1, 2),)))
+        assert (0, 2) not in failed.table.primary
+        assert failed.primary_loads.sum() == 0.0
+
+    def test_unknown_link_raises(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        with pytest.raises(KeyError):
+            apply_failures(nsfnet, traffic, FailureScenario(((0, 5),)))
+
+    def test_max_hops_honoured(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        failed = apply_failures(nsfnet, traffic, FailureScenario(((7, 9),)), max_hops=6)
+        assert failed.table.max_hops == 6

@@ -1,0 +1,53 @@
+"""Tests for the per-O-D fairness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fairness import fairness_report
+
+
+class TestFairnessReport:
+    def test_uniform_profile_has_zero_skew(self):
+        report = fairness_report({(0, 1): 0.1, (1, 0): 0.1, (0, 2): 0.1})
+        assert report.coefficient_of_variation == pytest.approx(0.0, abs=1e-12)
+        assert report.gini == pytest.approx(0.0, abs=1e-12)
+        assert report.max == report.min == 0.1
+
+    def test_known_moments(self):
+        report = fairness_report({(0, 1): 0.0, (1, 0): 0.2})
+        assert report.mean == pytest.approx(0.1)
+        assert report.std == pytest.approx(0.1)
+        assert report.coefficient_of_variation == pytest.approx(1.0)
+
+    def test_known_gini(self):
+        # Profile (0, 1): Gini = mean abs diff / (2 * mean) = 0.5 / (2*0.5) ...
+        # sum|xi-xj| = 2, n^2 = 4, mean = 0.5 -> 2 / (2*4*0.5) = 0.5.
+        report = fairness_report({(0, 1): 0.0, (1, 0): 1.0})
+        assert report.gini == pytest.approx(0.5)
+
+    def test_all_zero_profile(self):
+        report = fairness_report({(0, 1): 0.0, (1, 0): 0.0})
+        assert report.mean == 0.0
+        assert report.coefficient_of_variation == 0.0
+        assert report.gini == 0.0
+
+    def test_comparison_helper(self):
+        skewed = fairness_report({(0, 1): 0.0, (1, 0): 0.4})
+        flat = fairness_report({(0, 1): 0.2, (1, 0): 0.2})
+        assert skewed.more_skewed_than(flat)
+        assert not flat.more_skewed_than(skewed)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report({})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            fairness_report({(0, 1): 1.2})
+        with pytest.raises(ValueError):
+            fairness_report({(0, 1): -0.1})
+
+    def test_pairs_counted(self):
+        report = fairness_report({(0, 1): 0.1, (1, 2): 0.3, (2, 0): 0.2})
+        assert report.pairs == 3

@@ -1,0 +1,82 @@
+"""Tests for the Erlang fixed-point (reduced-load) approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fixed_point import erlang_fixed_point
+from repro.core.erlang import erlang_b
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import line
+from repro.topology.paths import build_path_table
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestFixedPoint:
+    def test_single_link_is_exact(self):
+        net = line(2, 10)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 1): 7.0}, num_nodes=2)
+        result = erlang_fixed_point(net, table, traffic)
+        assert result.converged
+        assert result.network_blocking == pytest.approx(erlang_b(7.0, 10), rel=1e-8)
+
+    def test_two_hop_reduced_load(self):
+        # 0-1-2 chain with traffic only 0->2: both links see the same thinned
+        # load; the fixed point satisfies B = ErlangB(T*(1-B), C).
+        net = line(3, 5)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 6.0})
+        result = erlang_fixed_point(net, table, traffic)
+        forward = [l.index for l in net.links if l.endpoints in ((0, 1), (1, 2))]
+        b1, b2 = (result.link_blocking[i] for i in forward)
+        assert b1 == pytest.approx(b2, rel=1e-6)
+        assert b1 == pytest.approx(erlang_b(6.0 * (1 - b1), 5), rel=1e-6)
+        # Path blocking combines both links.
+        assert result.pair_blocking[(0, 2)] == pytest.approx(1 - (1 - b1) ** 2, rel=1e-6)
+
+    def test_zero_traffic(self):
+        net = line(2, 4)
+        table = build_path_table(net)
+        import numpy as np
+
+        traffic = TrafficMatrix(np.zeros((2, 2)))
+        result = erlang_fixed_point(net, table, traffic)
+        assert result.network_blocking == 0.0
+        assert (result.link_blocking == 0.0).all()
+
+    def test_matches_simulation_at_moderate_load(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 90.0)
+        approx = erlang_fixed_point(quad_network, quad_table, traffic)
+        policy = SinglePathRouting(quad_network, quad_table)
+        values = []
+        for seed in range(6):
+            trace = generate_trace(traffic, 110.0, seed)
+            values.append(simulate(quad_network, policy, trace).network_blocking)
+        simulated = sum(values) / len(values)
+        assert approx.network_blocking == pytest.approx(simulated, rel=0.25)
+
+    def test_demand_without_path_rejected(self):
+        net = line(2, 4)
+        net.fail_duplex_link(0, 1)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 1): 1.0})
+        with pytest.raises(ValueError):
+            erlang_fixed_point(net, table, traffic)
+
+    def test_bad_damping_rejected(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 10.0)
+        with pytest.raises(ValueError):
+            erlang_fixed_point(quad_network, quad_table, traffic, damping=0.0)
+
+    def test_blocking_monotone_in_load(self, quad_network, quad_table):
+        values = [
+            erlang_fixed_point(
+                quad_network, quad_table, uniform_traffic(4, load)
+            ).network_blocking
+            for load in (50.0, 80.0, 110.0)
+        ]
+        assert values[0] < values[1] < values[2]

@@ -1,0 +1,167 @@
+"""Tests for the topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.generators import (
+    fully_connected,
+    grid,
+    line,
+    quadrangle,
+    random_mesh,
+    ring,
+    star,
+)
+from repro.topology.paths import min_hop_distances
+
+
+def is_strongly_connected(network) -> bool:
+    return all(
+        max(min_hop_distances(network, src)) < float("inf")
+        for src in network.nodes()
+    )
+
+
+class TestFullyConnected:
+    def test_link_count(self):
+        net = fully_connected(5, 3)
+        assert net.num_links == 5 * 4  # ordered pairs
+
+    def test_quadrangle_is_k4(self):
+        net = quadrangle(100)
+        assert net.num_nodes == 4
+        assert net.num_links == 12
+        assert all(link.capacity == 100 for link in net.links)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            fully_connected(1, 1)
+
+
+class TestRingLineStar:
+    def test_ring_structure(self):
+        net = ring(6, 2)
+        assert net.num_links == 12
+        assert sorted(net.neighbors(0)) == [1, 5]
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring(2, 1)
+
+    def test_line_structure(self):
+        net = line(4, 1)
+        assert net.num_links == 6
+        assert net.neighbors(0) == [1]
+        assert sorted(net.neighbors(1)) == [0, 2]
+
+    def test_star_structure(self):
+        net = star(5, 1)
+        assert net.num_nodes == 6
+        assert sorted(net.neighbors(0)) == [1, 2, 3, 4, 5]
+        assert net.neighbors(3) == [0]
+
+
+class TestGrid:
+    def test_corner_and_center_degrees(self):
+        net = grid(3, 3, 1)
+        assert len(net.neighbors(0)) == 2       # corner
+        assert len(net.neighbors(4)) == 4       # center
+        assert len(net.neighbors(1)) == 3       # edge
+
+    def test_link_count(self):
+        rows, cols = 3, 4
+        net = grid(rows, cols, 1)
+        undirected = rows * (cols - 1) + cols * (rows - 1)
+        assert net.num_links == 2 * undirected
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            grid(1, 1, 1)
+
+
+class TestRandomMesh:
+    def test_connected(self):
+        for seed in range(5):
+            net = random_mesh(10, 4, 1, seed=seed)
+            assert is_strongly_connected(net)
+
+    def test_deterministic_for_seed(self):
+        a = random_mesh(8, 3, 1, seed=42)
+        b = random_mesh(8, 3, 1, seed=42)
+        assert [l.endpoints for l in a.links] == [l.endpoints for l in b.links]
+
+    def test_extra_links_added(self):
+        tree_only = random_mesh(8, 0, 1, seed=0)
+        dense = random_mesh(8, 5, 1, seed=0)
+        assert dense.num_links == tree_only.num_links + 2 * 5
+
+    def test_extra_links_capped_at_complete_graph(self):
+        net = random_mesh(4, 100, 1, seed=0)
+        assert net.num_links == 12  # K4, no duplicates
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            random_mesh(1, 0, 1)
+
+
+class TestTorus:
+    def test_uniform_degree_four(self):
+        from repro.topology.generators import torus
+
+        net = torus(3, 4, 1)
+        assert all(len(net.neighbors(n)) == 4 for n in net.nodes())
+
+    def test_link_count(self):
+        from repro.topology.generators import torus
+
+        net = torus(4, 5, 1)
+        assert net.num_links == 2 * 2 * 4 * 5  # two duplex links per node
+
+    def test_too_small_rejected(self):
+        from repro.topology.generators import torus
+
+        with pytest.raises(ValueError):
+            torus(2, 5, 1)
+
+    def test_wraparound_shortens_paths(self):
+        from repro.topology.generators import torus
+        from repro.topology.paths import min_hop_path
+
+        net = torus(5, 5, 1)
+        # Opposite corners are 2+2 hops away thanks to the wraparound.
+        path = min_hop_path(net, 0, 4 * 5 + 4)
+        assert len(path) - 1 == 2
+
+
+class TestWaxman:
+    def test_connected(self):
+        from repro.topology.generators import waxman_mesh
+
+        for seed in range(4):
+            net = waxman_mesh(12, 1, seed=seed)
+            assert is_strongly_connected(net)
+
+    def test_deterministic(self):
+        from repro.topology.generators import waxman_mesh
+
+        a = waxman_mesh(10, 1, seed=5)
+        b = waxman_mesh(10, 1, seed=5)
+        assert [l.endpoints for l in a.links] == [l.endpoints for l in b.links]
+
+    def test_alpha_grows_density(self):
+        from repro.topology.generators import waxman_mesh
+
+        sparse = waxman_mesh(20, 1, alpha=0.1, seed=0)
+        dense = waxman_mesh(20, 1, alpha=0.9, seed=0)
+        assert dense.num_links > sparse.num_links
+
+    def test_validation(self):
+        from repro.topology.generators import waxman_mesh
+
+        with pytest.raises(ValueError):
+            waxman_mesh(1, 1)
+        with pytest.raises(ValueError):
+            waxman_mesh(5, 1, alpha=0.0)
+        with pytest.raises(ValueError):
+            waxman_mesh(5, 1, beta=-1.0)

@@ -1,0 +1,165 @@
+"""Unit tests for the directed-link network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.graph import Link, Network
+
+
+class TestLink:
+    def test_endpoints(self):
+        link = Link(index=0, src=1, dst=2, capacity=10)
+        assert link.endpoints == (1, 2)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Link(index=0, src=0, dst=1, capacity=-1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Link(index=0, src=3, dst=3, capacity=1)
+
+
+class TestNetworkBuild:
+    def test_empty_network_rejected(self):
+        with pytest.raises(ValueError):
+            Network(0)
+
+    def test_add_link(self):
+        net = Network(3)
+        link = net.add_link(0, 1, 5)
+        assert link.index == 0
+        assert net.num_links == 1
+        assert net.link_between(0, 1) is link
+        assert net.link_between(1, 0) is None
+
+    def test_duplicate_link_rejected(self):
+        net = Network(2)
+        net.add_link(0, 1, 5)
+        with pytest.raises(ValueError):
+            net.add_link(0, 1, 5)
+
+    def test_duplex_adds_both_directions(self):
+        net = Network(2)
+        forward, backward = net.add_duplex_link(0, 1, 7)
+        assert forward.endpoints == (0, 1)
+        assert backward.endpoints == (1, 0)
+        assert net.num_links == 2
+
+    def test_out_of_range_node_rejected(self):
+        net = Network(2)
+        with pytest.raises(ValueError):
+            net.add_link(0, 2, 1)
+
+    def test_node_names(self):
+        net = Network(2, node_names=["alpha", "beta"])
+        assert net.node_name(1) == "beta"
+        assert Network(2).node_name(1) == "1"
+
+    def test_node_name_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Network(3, node_names=["only", "two"])
+
+    def test_node_pairs(self):
+        net = Network(3)
+        pairs = list(net.node_pairs())
+        assert len(pairs) == 6
+        assert (0, 0) not in pairs
+        assert (2, 1) in pairs
+
+
+class TestTopologyQueries:
+    @pytest.fixture()
+    def triangle(self):
+        net = Network(3)
+        net.add_duplex_link(0, 1, 4)
+        net.add_duplex_link(1, 2, 4)
+        net.add_duplex_link(0, 2, 4)
+        return net
+
+    def test_neighbors(self, triangle):
+        assert sorted(triangle.neighbors(0)) == [1, 2]
+
+    def test_out_links(self, triangle):
+        assert {l.dst for l in triangle.out_links(1)} == {0, 2}
+
+    def test_capacities_array(self, triangle):
+        caps = triangle.capacities()
+        assert caps.shape == (6,)
+        assert (caps == 4).all()
+
+    def test_path_links(self, triangle):
+        links = triangle.path_links([0, 1, 2])
+        assert len(links) == 2
+        assert triangle.link(links[0]).endpoints == (0, 1)
+        assert triangle.link(links[1]).endpoints == (1, 2)
+
+    def test_path_links_rejects_missing_hop(self):
+        net = Network(3)
+        net.add_link(0, 1, 1)
+        with pytest.raises(ValueError):
+            net.path_links([0, 1, 2])
+
+    def test_path_links_rejects_trivial_path(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.path_links([0])
+
+    def test_is_valid_path(self, triangle):
+        assert triangle.is_valid_path([0, 1, 2])
+        assert not triangle.is_valid_path([0, 1, 0])  # revisits a node
+        assert not triangle.is_valid_path([0])
+
+
+class TestFailures:
+    @pytest.fixture()
+    def net(self):
+        network = Network(3)
+        network.add_duplex_link(0, 1, 2)
+        network.add_duplex_link(1, 2, 2)
+        return network
+
+    def test_fail_link_hides_it(self, net):
+        net.fail_link(0, 1)
+        assert net.link_between(0, 1) is None
+        assert net.link_between(1, 0) is not None
+        assert 1 not in net.neighbors(0)
+
+    def test_fail_duplex(self, net):
+        net.fail_duplex_link(0, 1)
+        assert net.link_between(0, 1) is None
+        assert net.link_between(1, 0) is None
+
+    def test_failed_capacity_zeroed(self, net):
+        net.fail_link(0, 1)
+        caps = net.capacities()
+        index = [l.index for l in net.links if l.endpoints == (0, 1)][0]
+        assert caps[index] == 0
+
+    def test_restore(self, net):
+        net.fail_link(0, 1)
+        net.restore_link(0, 1)
+        assert net.link_between(0, 1) is not None
+
+    def test_restore_all(self, net):
+        net.fail_duplex_link(0, 1)
+        net.restore_all()
+        assert not net.failed_links
+
+    def test_fail_missing_link_raises(self, net):
+        with pytest.raises(KeyError):
+            net.fail_link(0, 2)
+
+    def test_path_through_failed_link_invalid(self, net):
+        net.fail_link(1, 2)
+        assert not net.is_valid_path([0, 1, 2])
+        with pytest.raises(ValueError):
+            net.path_links([0, 1, 2])
+
+    def test_copy_preserves_failures_independently(self, net):
+        net.fail_link(0, 1)
+        clone = net.copy()
+        assert clone.link_between(0, 1) is None
+        clone.restore_all()
+        assert net.link_between(0, 1) is None  # original untouched
+        assert clone.link_between(0, 1) is not None

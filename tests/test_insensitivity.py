@@ -1,0 +1,86 @@
+"""Holding-time insensitivity tests.
+
+The Erlang loss system's blocking depends on the holding-time distribution
+only through its mean — so the single-path network must reproduce Erlang-B
+under deterministic and heavy-tailed holding times alike.  The alternate-
+routing dynamics are *not* covered by that theorem; the tests here only pin
+that the qualitative ordering survives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import erlang_b
+from repro.routing.alternate import UncontrolledAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import line
+from repro.topology.paths import build_path_table
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+DISTRIBUTIONS = ("exponential", "deterministic", "hyperexponential")
+
+
+class TestHoldingSampling:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_unit_mean(self, distribution):
+        traffic = TrafficMatrix({(0, 1): 100.0}, num_nodes=2)
+        trace = generate_trace(traffic, 100.0, 0, holding=distribution)
+        assert trace.holding_times.mean() == pytest.approx(1.0, abs=0.1)
+        assert (trace.holding_times > 0).all()
+
+    def test_deterministic_is_constant(self):
+        traffic = TrafficMatrix({(0, 1): 20.0}, num_nodes=2)
+        trace = generate_trace(traffic, 50.0, 1, holding="deterministic")
+        assert (trace.holding_times == 1.0).all()
+
+    def test_hyperexponential_is_bursty(self):
+        traffic = TrafficMatrix({(0, 1): 100.0}, num_nodes=2)
+        trace = generate_trace(traffic, 100.0, 2, holding="hyperexponential")
+        cv2 = trace.holding_times.var() / trace.holding_times.mean() ** 2
+        assert cv2 > 2.0  # target squared CV is 4
+
+    def test_unknown_distribution_rejected(self):
+        traffic = TrafficMatrix({(0, 1): 1.0}, num_nodes=2)
+        with pytest.raises(ValueError):
+            generate_trace(traffic, 10.0, 0, holding="pareto")
+
+
+class TestInsensitivity:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_single_link_blocking_insensitive(self, distribution):
+        # Erlang insensitivity: B depends on holding times through the mean
+        # only.  M/G/C/C with unit-mean holding == Erlang-B.
+        capacity, load = 10, 8.0
+        net = line(2, capacity)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 1): load}, num_nodes=2)
+        policy = SinglePathRouting(net, table)
+        values = [
+            simulate(
+                net, policy, generate_trace(traffic, 410.0, seed, holding=distribution), 10.0
+            ).network_blocking
+            for seed in range(6)
+        ]
+        assert np.mean(values) == pytest.approx(erlang_b(load, capacity), rel=0.15)
+
+    def test_alternate_routing_ordering_survives(self, quad_network, quad_table):
+        # Not covered by the insensitivity theorem, but the paper's story
+        # (alternate routing collapses past the critical load) should not be
+        # an artifact of exponential holding.
+        traffic = uniform_traffic(4, 100.0)
+        single = SinglePathRouting(quad_network, quad_table)
+        uncontrolled = UncontrolledAlternateRouting(quad_network, quad_table)
+        for distribution in ("deterministic", "hyperexponential"):
+            singles, alts = [], []
+            for seed in range(3):
+                trace = generate_trace(traffic, 40.0, seed, holding=distribution)
+                singles.append(simulate(quad_network, single, trace, 10.0).network_blocking)
+                alts.append(
+                    simulate(quad_network, uncontrolled, trace, 10.0).network_blocking
+                )
+            assert np.mean(alts) > np.mean(singles)

@@ -1,0 +1,153 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims.
+
+These exercise the full stack (topology -> traffic -> policies -> simulator
+-> metrics) at reduced but statistically meaningful scale.  The benchmark
+harnesses run the same experiments at paper fidelity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fairness import fairness_report
+from repro.experiments.runner import ReplicationConfig, compare_policies
+from repro.routing.alternate import (
+    ControlledAlternateRouting,
+    UncontrolledAlternateRouting,
+)
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.failures import FailureScenario, apply_failures
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.traffic.calibration import nsfnet_nominal_traffic
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.generators import uniform_traffic
+
+CONFIG = ReplicationConfig(measured_duration=40.0, warmup=10.0, seeds=(0, 1, 2, 3))
+
+
+def standard_policies(network, table, traffic):
+    loads = primary_link_loads(network, table, traffic)
+    return {
+        "single-path": SinglePathRouting(network, table),
+        "uncontrolled": UncontrolledAlternateRouting(network, table),
+        "controlled": ControlledAlternateRouting(network, table, loads),
+    }
+
+
+class TestQuadrangleShape:
+    """The Figure-3/4 story on the fully-connected quadrangle."""
+
+    def test_uncontrolled_wins_at_low_load(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 80.0)
+        stats = compare_policies(
+            quad_network, standard_policies(quad_network, quad_table, traffic), traffic, CONFIG
+        )
+        assert stats["uncontrolled"].mean < stats["single-path"].mean
+        assert stats["controlled"].mean < stats["single-path"].mean
+
+    def test_uncontrolled_collapses_at_overload(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 100.0)
+        stats = compare_policies(
+            quad_network, standard_policies(quad_network, quad_table, traffic), traffic, CONFIG
+        )
+        assert stats["uncontrolled"].mean > stats["single-path"].mean
+        # Controlled must stay with the better regime.
+        assert stats["controlled"].mean < stats["uncontrolled"].mean
+
+    def test_controlled_never_worse_than_single_path(self, quad_network, quad_table):
+        # The paper's guarantee, checked across the load range (with a small
+        # statistical tolerance).
+        for load in (70.0, 85.0, 95.0, 105.0):
+            traffic = uniform_traffic(4, load)
+            stats = compare_policies(
+                quad_network,
+                standard_policies(quad_network, quad_table, traffic),
+                traffic,
+                CONFIG,
+            )
+            assert stats["controlled"].mean <= stats["single-path"].mean + 0.01
+
+    def test_controlled_beats_both_in_crossover_window(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 90.0)
+        stats = compare_policies(
+            quad_network, standard_policies(quad_network, quad_table, traffic), traffic, CONFIG
+        )
+        assert stats["controlled"].mean <= stats["single-path"].mean + 0.005
+        assert stats["controlled"].mean <= stats["uncontrolled"].mean + 0.005
+
+
+class TestNsfnetShape:
+    """The Figure-6/7 story on the NSFNet model."""
+
+    @pytest.fixture(scope="class")
+    def nominal(self):
+        return nsfnet_nominal_traffic()
+
+    def test_ordering_above_nominal(self, nsfnet, nsfnet_table, nominal):
+        traffic = nominal.scaled(1.3)
+        stats = compare_policies(
+            nsfnet, standard_policies(nsfnet, nsfnet_table, traffic), traffic, CONFIG
+        )
+        assert stats["uncontrolled"].mean > stats["single-path"].mean
+        assert stats["controlled"].mean <= stats["single-path"].mean + 0.01
+
+    def test_ordering_below_nominal(self, nsfnet, nsfnet_table, nominal):
+        traffic = nominal.scaled(0.9)
+        stats = compare_policies(
+            nsfnet, standard_policies(nsfnet, nsfnet_table, traffic), traffic, CONFIG
+        )
+        assert stats["uncontrolled"].mean < stats["single-path"].mean
+        assert stats["controlled"].mean < stats["single-path"].mean
+
+    def test_link_failures_preserve_ordering(self, nsfnet, nominal):
+        # Section 4.2.2: with 2<->3 failed, blocking rises but the relative
+        # position of the curves is maintained (at above-nominal load).
+        traffic = nominal.scaled(1.3)
+        failed = apply_failures(nsfnet, traffic, FailureScenario(((2, 3),)))
+        policies = {
+            "single-path": SinglePathRouting(failed.network, failed.table),
+            "uncontrolled": UncontrolledAlternateRouting(failed.network, failed.table),
+            "controlled": ControlledAlternateRouting(
+                failed.network, failed.table, failed.primary_loads
+            ),
+        }
+        stats = compare_policies(failed.network, policies, traffic, CONFIG)
+        assert stats["uncontrolled"].mean > stats["single-path"].mean
+        assert stats["controlled"].mean <= stats["single-path"].mean + 0.01
+
+    def test_alternate_routing_is_fairer(self, nsfnet, nsfnet_table_h6, nominal):
+        # Section 4.2.2: single-path most skewed, uncontrolled least.
+        traffic = nominal.scaled(1.1)
+        policies = standard_policies(nsfnet, nsfnet_table_h6, traffic)
+        profiles = {}
+        for name, policy in policies.items():
+            blocked = np.zeros(0)
+            offered = np.zeros(0)
+            for seed in CONFIG.seeds:
+                trace = generate_trace(traffic, CONFIG.duration, seed)
+                result = simulate(nsfnet, policy, trace, CONFIG.warmup)
+                if blocked.size == 0:
+                    blocked = result.blocked.astype(float)
+                    offered = result.offered.astype(float)
+                else:
+                    blocked += result.blocked
+                    offered += result.offered
+            pair_blocking = {
+                od: blocked[i] / offered[i]
+                for i, od in enumerate(result.od_pairs)
+                if offered[i] > 0
+            }
+            profiles[name] = fairness_report(pair_blocking)
+        assert profiles["single-path"].more_skewed_than(profiles["uncontrolled"])
+
+
+class TestCommonRandomNumbers:
+    def test_same_seed_same_result(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 90.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        a = simulate(quad_network, policy, generate_trace(traffic, 30.0, 5))
+        b = simulate(quad_network, policy, generate_trace(traffic, 30.0, 5))
+        assert np.array_equal(a.blocked, b.blocked)
+        assert a.primary_carried == b.primary_carried

@@ -1,0 +1,146 @@
+"""Tests for network/traffic JSON I/O and the CLI evaluate command."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.topology.generators import quadrangle
+from repro.topology.graph import Network
+from repro.topology.io import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.io import (
+    load_traffic,
+    save_traffic,
+    traffic_from_dict,
+    traffic_to_dict,
+)
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestNetworkIO:
+    def test_roundtrip_preserves_structure(self, tmp_path):
+        original = nsfnet_backbone()
+        path = tmp_path / "net.json"
+        save_network(path, original)
+        restored = load_network(path)
+        assert restored.num_nodes == original.num_nodes
+        assert [l.endpoints for l in restored.links] == [
+            l.endpoints for l in original.links
+        ]
+        assert [l.capacity for l in restored.links] == [
+            l.capacity for l in original.links
+        ]
+        assert restored.node_name(0) == original.node_name(0)
+
+    def test_duplex_declaration(self):
+        document = {
+            "num_nodes": 2,
+            "links": [{"a": 0, "b": 1, "capacity": 7, "duplex": True}],
+        }
+        network = network_from_dict(document)
+        assert network.num_links == 2
+        assert network.has_link(0, 1)
+        assert network.has_link(1, 0)
+
+    def test_default_names_omitted(self):
+        document = network_to_dict(quadrangle(10))
+        assert "node_names" not in document
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            network_from_dict({})
+        with pytest.raises(ValueError):
+            network_from_dict({"num_nodes": 2, "links": [{"capacity": 1}]})
+        with pytest.raises(ValueError):
+            network_from_dict(
+                {"num_nodes": 2, "links": [{"capacity": 1, "duplex": True}]}
+            )
+
+
+class TestTrafficIO:
+    def test_roundtrip(self, tmp_path):
+        original = TrafficMatrix({(0, 1): 2.5, (2, 0): 1.25}, num_nodes=3)
+        path = tmp_path / "traffic.json"
+        save_traffic(path, original)
+        assert load_traffic(path) == original
+
+    def test_sparse_representation(self):
+        document = traffic_to_dict(TrafficMatrix({(0, 1): 1.0}, num_nodes=5))
+        assert document["num_nodes"] == 5
+        assert document["demands"] == [[0, 1, 1.0]]
+
+    def test_malformed_entries_rejected(self):
+        with pytest.raises(ValueError):
+            traffic_from_dict({})
+        with pytest.raises(ValueError):
+            traffic_from_dict({"num_nodes": 3, "demands": [[0, 1]]})
+
+
+class TestShippedDataFiles:
+    def test_nsfnet_files_consistent(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        network = load_network(repo / "data" / "nsfnet_t3.json")
+        traffic = load_traffic(repo / "data" / "nsfnet_nominal_traffic.json")
+        assert network.num_nodes == 12
+        assert network.num_links == 30
+        assert traffic.num_nodes == 12
+        assert traffic.total == pytest.approx(1015.6, abs=1.0)
+
+    def test_quadrangle_files_consistent(self):
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent
+        network = load_network(repo / "data" / "quadrangle.json")
+        traffic = load_traffic(repo / "data" / "quadrangle_90E.json")
+        assert network.num_links == 12
+        assert traffic.demand(0, 1) == 90.0
+
+
+class TestEvaluateCommand:
+    def test_evaluate_runs(self, tmp_path, capsys):
+        network = Network(3)
+        network.add_duplex_link(0, 1, 10)
+        network.add_duplex_link(1, 2, 10)
+        network.add_duplex_link(0, 2, 10)
+        save_network(tmp_path / "net.json", network)
+        save_traffic(tmp_path / "traffic.json", uniform_traffic(3, 6.0))
+        code = main(
+            [
+                "evaluate",
+                "--network", str(tmp_path / "net.json"),
+                "--traffic", str(tmp_path / "traffic.json"),
+                "--seeds", "1",
+                "--duration", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "controlled" in out
+        assert "Erlang cut-set lower bound" in out
+
+    def test_evaluate_rejects_size_mismatch(self, tmp_path):
+        network = Network(3)
+        network.add_duplex_link(0, 1, 10)
+        save_network(tmp_path / "net.json", network)
+        save_traffic(tmp_path / "traffic.json", uniform_traffic(4, 1.0))
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "evaluate",
+                    "--network", str(tmp_path / "net.json"),
+                    "--traffic", str(tmp_path / "traffic.json"),
+                    "--seeds", "1",
+                    "--duration", "5",
+                ]
+            )

@@ -1,0 +1,117 @@
+"""Tests for least-busy-alternative routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.alternate import ControlledAlternateRouting
+from repro.routing.least_busy import LeastBusyAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import fully_connected
+from repro.topology.graph import Network
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestConstruction:
+    def test_levels_match_controlled(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 85.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        lba = LeastBusyAlternateRouting(quad_network, quad_table, loads)
+        controlled = ControlledAlternateRouting(quad_network, quad_table, loads)
+        assert np.array_equal(lba.protection_levels, controlled.protection_levels)
+        assert lba.discipline == "least-busy"
+
+    def test_override_validated(self, quad_network, quad_table):
+        loads = np.zeros(quad_network.num_links)
+        with pytest.raises(ValueError):
+            LeastBusyAlternateRouting(
+                quad_network, quad_table, loads,
+                reservation_override=np.array([1, 2]),
+            )
+        with pytest.raises(ValueError):
+            LeastBusyAlternateRouting(quad_network, quad_table, np.zeros(2))
+
+
+class TestSelection:
+    def test_picks_the_emptier_relay(self):
+        # Two parallel 2-hop relays between 0 and 1; pre-load one of them
+        # with background traffic and check alternates prefer the other.
+        net = Network(4)
+        net.add_duplex_link(0, 1, 2)   # direct, tiny
+        net.add_duplex_link(0, 2, 20)
+        net.add_duplex_link(2, 1, 20)
+        net.add_duplex_link(0, 3, 20)
+        net.add_duplex_link(3, 1, 20)
+        table = build_path_table(net)
+        # Heavy (0,1) demand overflows; relay via 2 carries its own load.
+        traffic = TrafficMatrix(
+            {(0, 1): 10.0, (0, 2): 12.0, (2, 1): 12.0}, num_nodes=4
+        )
+        loads = primary_link_loads(net, table, traffic)
+        zero = np.zeros(net.num_links, dtype=np.int64)
+        lba = LeastBusyAlternateRouting(net, table, loads, reservation_override=zero)
+        trace = generate_trace(traffic, 60.0, 0)
+        simulator_result = simulate(net, lba, trace, 10.0)
+        assert simulator_result.alternate_carried > 0
+        # The emptier relay (via 3) must take most of the overflow: compare
+        # mean occupancies.
+        from repro.sim.simulator import LossNetworkSimulator
+
+        sim = LossNetworkSimulator(net, lba, trace, 10.0, collect_link_stats=True)
+        sim.run()
+        via2 = [l.index for l in net.links if l.endpoints == (0, 2)][0]
+        via3 = [l.index for l in net.links if l.endpoints == (0, 3)][0]
+        occupancy = sim.mean_link_occupancy
+        # Link 0->2 carries its own 12 E of primaries; 0->3 only overflow.
+        # Overflow must be biased toward via-3; its occupancy stays well
+        # below via-2's primary-plus-overflow.
+        assert occupancy[via3] > 0.5           # overflow actually landed there
+        assert occupancy[via3] < occupancy[via2]
+
+    def test_respects_reservation(self, quad_network, quad_table):
+        # Full reservation shuts the alternates: pathwise single-path.
+        traffic = uniform_traffic(4, 95.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        full = np.array([l.capacity for l in quad_network.links], dtype=np.int64)
+        lba = LeastBusyAlternateRouting(
+            quad_network, quad_table, loads, reservation_override=full
+        )
+        single = SinglePathRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 30.0, 1)
+        a = simulate(quad_network, lba, trace)
+        b = simulate(quad_network, single, trace)
+        assert np.array_equal(a.blocked, b.blocked)
+        assert a.alternate_carried == 0
+
+
+class TestPerformance:
+    def test_competitive_with_sequential_controlled(self, quad_network):
+        # On the symmetric quadrangle with 2-hop alternates (LBA's design
+        # point) the least-busy selection matches the paper's sequential
+        # order within noise and never falls behind single-path.
+        table = build_path_table(quad_network, max_hops=2)
+        traffic = uniform_traffic(4, 90.0)
+        loads = primary_link_loads(quad_network, table, traffic)
+        policies = {
+            "single": SinglePathRouting(quad_network, table),
+            "controlled": ControlledAlternateRouting(quad_network, table, loads),
+            "lba": LeastBusyAlternateRouting(quad_network, table, loads),
+        }
+        means = {}
+        for name, policy in policies.items():
+            means[name] = np.mean(
+                [
+                    simulate(
+                        quad_network, policy, generate_trace(traffic, 40.0, seed), 10.0
+                    ).network_blocking
+                    for seed in range(4)
+                ]
+            )
+        assert means["lba"] <= means["single"] + 0.01
+        assert abs(means["lba"] - means["controlled"]) < 0.01

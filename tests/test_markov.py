@@ -1,0 +1,173 @@
+"""Unit tests for birth-death chains and the link occupancy chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import erlang_b
+from repro.core.markov import BirthDeathChain, link_chain
+
+
+class TestConstruction:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain([1.0, 2.0], [1.0])
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain([1.0, -1.0], [1.0, 2.0])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain([], [])
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(ValueError):
+            BirthDeathChain([[1.0]], [[1.0]])
+
+    def test_state_counts(self):
+        chain = BirthDeathChain([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+        assert chain.num_states == 4
+        assert chain.top_state == 3
+
+
+class TestStationaryDistribution:
+    def test_mm1k_geometric(self):
+        # M/M/1/K with lambda, mu: pi_s proportional to (lambda/mu)^s.
+        lam, mu, k = 2.0, 3.0, 5
+        chain = BirthDeathChain([lam] * k, [mu] * k)
+        pi = chain.stationary_distribution()
+        rho = lam / mu
+        expected = np.array([rho**s for s in range(k + 1)])
+        expected /= expected.sum()
+        assert pi == pytest.approx(expected, rel=1e-12)
+
+    def test_mmcc_matches_erlang(self):
+        load, capacity = 9.0, 12
+        chain = link_chain(load, capacity)
+        assert chain.time_blocking() == pytest.approx(erlang_b(load, capacity), rel=1e-12)
+
+    def test_distribution_sums_to_one(self):
+        chain = BirthDeathChain([3.0, 1.0, 0.5], [1.0, 2.0, 3.0])
+        assert chain.stationary_distribution().sum() == pytest.approx(1.0)
+
+    def test_zero_birth_blocks_upper_states(self):
+        chain = BirthDeathChain([1.0, 0.0, 1.0], [1.0, 2.0, 3.0])
+        pi = chain.stationary_distribution()
+        assert pi[2] == 0.0
+        assert pi[3] == 0.0
+
+    def test_zero_death_concentrates_above(self):
+        chain = BirthDeathChain([1.0, 1.0], [0.0, 1.0])
+        pi = chain.stationary_distribution()
+        assert pi[0] == 0.0  # state 0 is transient: no return from state 1
+
+    def test_mean_occupancy_single_server(self):
+        # M/M/1/1: mean = pi_1 = a / (1 + a).
+        chain = link_chain(2.0, 1)
+        assert chain.mean_occupancy() == pytest.approx(2.0 / 3.0)
+
+
+class TestBlockingViews:
+    def test_pasta_for_state_independent_arrivals(self):
+        chain = link_chain(6.0, 8)
+        assert chain.call_blocking() == pytest.approx(chain.time_blocking(), rel=1e-12)
+
+    def test_state_dependent_arrivals_diverge_from_pasta(self):
+        # Arrival rate rises with state: arrivals see more congestion
+        # than the time average.
+        chain = BirthDeathChain([1.0, 5.0, 25.0], [1.0, 2.0, 3.0])
+        assert chain.call_blocking() > chain.time_blocking()
+
+
+class TestPassageTimes:
+    def test_pure_birth_from_empty(self):
+        # From state 0 the passage to 1 is a single exponential wait.
+        chain = link_chain(4.0, 3)
+        tau = chain.upward_passage_times()
+        assert tau[0] == pytest.approx(1.0 / 4.0)
+
+    def test_recursion_consistency(self):
+        chain = link_chain(3.0, 5)
+        tau = chain.upward_passage_times()
+        births = chain.births
+        deaths = chain.deaths
+        for s in range(1, 5):
+            expected = (1.0 + deaths[s - 1] * tau[s - 1]) / births[s]
+            assert tau[s] == pytest.approx(expected)
+
+    def test_passage_times_against_monte_carlo(self):
+        rng = np.random.default_rng(7)
+        lam, capacity = 5.0, 4
+        chain = link_chain(lam, capacity)
+        tau = chain.upward_passage_times()
+        # Simulate first passage 2 -> 3 many times.
+        samples = []
+        for __ in range(4000):
+            state, clock = 2, 0.0
+            while state < 3:
+                rate = lam + state
+                clock += rng.exponential(1.0 / rate)
+                if rng.random() < lam / rate:
+                    state += 1
+                else:
+                    state -= 1
+            samples.append(clock)
+        assert np.mean(samples) == pytest.approx(tau[2], rel=0.08)
+
+    def test_zero_birth_rate_gives_infinite_passage(self):
+        chain = BirthDeathChain([1.0, 0.0], [1.0, 2.0])
+        tau = chain.upward_passage_times()
+        assert np.isinf(tau[1])
+
+    def test_passage_counts_recursion(self):
+        chain = link_chain(2.0, 4)
+        x = chain.upward_passage_counts()
+        assert x[0] == 1.0
+        for s in range(1, 4):
+            expected = 1.0 + (chain.deaths[s - 1] / chain.births[s]) * x[s - 1]
+            assert x[s] == pytest.approx(expected)
+
+
+class TestLinkChain:
+    def test_protection_truncates_overflow(self):
+        capacity, protection = 6, 2
+        overflow = [10.0] * capacity
+        chain = link_chain(1.0, capacity, protection, overflow)
+        # States >= capacity - protection receive primary rate only.
+        assert chain.births[capacity - protection - 1] == pytest.approx(11.0)
+        assert chain.births[capacity - protection] == pytest.approx(1.0)
+        assert chain.births[capacity - 1] == pytest.approx(1.0)
+
+    def test_short_overflow_vector_accepted(self):
+        chain = link_chain(1.0, 5, 0, [2.0, 2.0])
+        assert chain.births[0] == pytest.approx(3.0)
+        assert chain.births[2] == pytest.approx(1.0)
+
+    def test_full_protection_excludes_all_overflow(self):
+        chain = link_chain(1.0, 4, 4, [9.0] * 4)
+        assert (chain.births == 1.0).all()
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            link_chain(1.0, 0)
+        with pytest.raises(ValueError):
+            link_chain(1.0, 4, 5)
+        with pytest.raises(ValueError):
+            link_chain(-1.0, 4)
+        with pytest.raises(ValueError):
+            link_chain(1.0, 4, 0, [-2.0])
+
+
+class TestDegenerateChains:
+    def test_zero_arrival_chain_call_blocking(self):
+        chain = BirthDeathChain([0.0], [1.0])
+        assert chain.call_blocking() == 0.0
+        pi = chain.stationary_distribution()
+        assert pi[0] == 1.0
+        assert pi[1] == 0.0
+
+    def test_mean_occupancy_empty_chain(self):
+        chain = BirthDeathChain([0.0], [1.0])
+        assert chain.mean_occupancy() == 0.0

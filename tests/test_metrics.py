@@ -1,0 +1,101 @@
+"""Tests for simulation metrics and multi-seed aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.metrics import SimulationResult, SweepStatistic, aggregate
+
+
+def make_result(offered, blocked, primary=0, alternate=0):
+    pairs = tuple((0, i + 1) for i in range(len(offered)))
+    return SimulationResult(
+        od_pairs=pairs,
+        offered=np.asarray(offered, dtype=np.int64),
+        blocked=np.asarray(blocked, dtype=np.int64),
+        primary_carried=primary,
+        alternate_carried=alternate,
+        warmup=10.0,
+        duration=110.0,
+        seed=0,
+    )
+
+
+class TestSimulationResult:
+    def test_network_blocking(self):
+        result = make_result([100, 100], [10, 0])
+        assert result.network_blocking == pytest.approx(0.05)
+        assert result.total_offered == 200
+        assert result.total_blocked == 10
+
+    def test_zero_offered(self):
+        assert make_result([0], [0]).network_blocking == 0.0
+
+    def test_pair_blocking_skips_unoffered(self):
+        result = make_result([50, 0], [5, 0])
+        blocking = result.pair_blocking()
+        assert blocking == {(0, 1): 0.1}
+
+    def test_alternate_fraction(self):
+        result = make_result([10], [0], primary=6, alternate=2)
+        assert result.alternate_fraction == pytest.approx(0.25)
+        assert make_result([0], [0]).alternate_fraction == 0.0
+
+
+class TestAggregate:
+    def test_single_value(self):
+        stat = aggregate([0.3])
+        assert stat.mean == 0.3
+        assert stat.half_width == 0.0
+        assert stat.num_runs == 1
+
+    def test_mean_and_std(self):
+        stat = aggregate([0.1, 0.2, 0.3])
+        assert stat.mean == pytest.approx(0.2)
+        assert stat.std == pytest.approx(0.1)
+        assert stat.num_runs == 3
+
+    def test_confidence_interval_known_case(self):
+        # n=3, dof=2: t = 4.303, half-width = 4.303 * std / sqrt(3).
+        stat = aggregate([0.1, 0.2, 0.3])
+        assert stat.half_width == pytest.approx(4.303 * 0.1 / np.sqrt(3), rel=1e-6)
+        assert stat.low == pytest.approx(stat.mean - stat.half_width)
+        assert stat.high == pytest.approx(stat.mean + stat.half_width)
+
+    def test_identical_values_zero_width(self):
+        stat = aggregate([0.5] * 10)
+        assert stat.half_width == 0.0
+
+    def test_values_preserved(self):
+        stat = aggregate([1.0, 2.0])
+        assert stat.values == (1.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_large_sample_uses_near_normal_quantile(self):
+        values = list(np.linspace(0, 1, 50))
+        stat = aggregate(values)
+        std = np.std(values, ddof=1)
+        assert stat.half_width <= 2.1 * std / np.sqrt(50)
+
+
+class TestSweepStatistic:
+    def test_fields(self):
+        stat = SweepStatistic(mean=0.5, std=0.1, half_width=0.05, num_runs=4)
+        assert stat.low == pytest.approx(0.45)
+        assert stat.high == pytest.approx(0.55)
+
+
+class TestFormatSweepEdgeCases:
+    def test_sweep_without_bounds(self):
+        from repro.experiments.report import format_sweep
+        from repro.experiments.runner import SweepPoint
+
+        point = SweepPoint(load=10.0)
+        point.blocking = {"only": SweepStatistic(0.5, 0.0, 0.0, 1)}
+        text = format_sweep([point])
+        assert "erlang-bound" not in text
+        assert "only" in text

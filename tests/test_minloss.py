@@ -1,0 +1,114 @@
+"""Tests for the min-link-loss primary-flow optimizer (flow deviation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import expected_lost_calls
+from repro.routing.minloss import optimize_primary_flows
+from repro.topology.generators import fully_connected
+from repro.topology.graph import Network
+from repro.topology.paths import build_path_table
+from repro.traffic.calibration import nsfnet_nominal_traffic
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.matrix import TrafficMatrix
+
+
+def two_parallel_paths() -> tuple[Network, object]:
+    """0 -> 1 directly (capacity 10) and via 2 (capacity-10 links)."""
+    net = Network(3)
+    net.add_link(0, 1, 10)
+    net.add_link(0, 2, 10)
+    net.add_link(2, 1, 10)
+    return net, build_path_table(net)
+
+
+class TestToyProblems:
+    def test_light_load_stays_on_short_path(self):
+        net, table = two_parallel_paths()
+        traffic = TrafficMatrix({(0, 1): 1.0}, num_nodes=3)
+        solution = optimize_primary_flows(net, table, traffic)
+        entries = dict((tuple(p), f) for p, f in solution.splits[(0, 1)])
+        assert entries.get((0, 1), 0.0) > 0.95
+
+    def test_heavy_load_bifurcates(self):
+        net, table = two_parallel_paths()
+        traffic = TrafficMatrix({(0, 1): 16.0}, num_nodes=3)
+        solution = optimize_primary_flows(net, table, traffic)
+        assert solution.bifurcated_pairs() == 1
+        entries = dict((tuple(p), f) for p, f in solution.splits[(0, 1)])
+        # Both routes must carry real traffic at the optimum.
+        assert entries[(0, 1)] > 0.2
+        assert entries[(0, 2, 1)] > 0.1
+
+    def test_optimum_beats_all_on_primary(self):
+        net, table = two_parallel_paths()
+        traffic = TrafficMatrix({(0, 1): 16.0}, num_nodes=3)
+        solution = optimize_primary_flows(net, table, traffic)
+        all_direct = expected_lost_calls(16.0, 10)
+        assert solution.objective < all_direct
+
+    def test_duality_gap_certifies_near_optimality(self):
+        net, table = two_parallel_paths()
+        traffic = TrafficMatrix({(0, 1): 14.0}, num_nodes=3)
+        solution = optimize_primary_flows(net, table, traffic, gap_tolerance=1e-4)
+        assert solution.optimality_gap <= 1e-4 * 14.0 + 1e-9
+
+    def test_split_fractions_normalized(self):
+        net, table = two_parallel_paths()
+        traffic = TrafficMatrix({(0, 1): 16.0}, num_nodes=3)
+        solution = optimize_primary_flows(net, table, traffic)
+        for entries in solution.splits.values():
+            assert sum(f for __, f in entries) == pytest.approx(1.0)
+            assert all(f > 0 for __, f in entries)
+
+    def test_link_loads_consistent_with_splits(self):
+        net, table = two_parallel_paths()
+        traffic = TrafficMatrix({(0, 1): 16.0}, num_nodes=3)
+        solution = optimize_primary_flows(net, table, traffic)
+        rebuilt = np.zeros(net.num_links)
+        for od, entries in solution.splits.items():
+            demand = traffic.demand(*od)
+            for path, fraction in entries:
+                for link in net.path_links(path):
+                    rebuilt[link] += demand * fraction
+        assert rebuilt == pytest.approx(solution.link_loads, abs=1e-6)
+
+    def test_demand_without_path_rejected(self):
+        net = Network(3)
+        net.add_link(0, 1, 5)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 1.0})
+        with pytest.raises(ValueError):
+            optimize_primary_flows(net, table, traffic)
+
+
+class TestOnPaperNetworks:
+    def test_symmetric_quadrangle_keeps_direct_primaries(self, quad_network, quad_table):
+        # Under symmetric load every direct link is equally loaded; deviating
+        # to 2-hop paths doubles resource use, so the optimum is all-direct.
+        traffic = TrafficMatrix(
+            {od: 70.0 for od in quad_network.node_pairs()}, num_nodes=4
+        )
+        solution = optimize_primary_flows(quad_network, quad_table, traffic)
+        for od, entries in solution.splits.items():
+            main = dict((tuple(p), f) for p, f in entries).get(tuple(od), 0.0)
+            assert main > 0.9
+
+    @pytest.mark.slow
+    def test_nsfnet_improves_on_min_hop(self, nsfnet, nsfnet_table):
+        traffic = nsfnet_nominal_traffic().scaled(1.1)
+        min_hop_loads = primary_link_loads(nsfnet, nsfnet_table, traffic)
+        capacities = nsfnet.capacities()
+        min_hop_objective = sum(
+            expected_lost_calls(float(l), int(c))
+            for l, c in zip(min_hop_loads, capacities)
+        )
+        solution = optimize_primary_flows(
+            nsfnet, nsfnet_table, traffic, max_iterations=60
+        )
+        # The paper: min-loss primaries do better than min-hop (before
+        # alternate routing is added).
+        assert solution.objective < min_hop_objective
+        assert solution.bifurcated_pairs() > 0

@@ -1,0 +1,240 @@
+"""Tests for the multirate extension (Kaufman-Roberts + multi-class simulation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import erlang_b
+from repro.core.multirate import (
+    TrafficClass,
+    kaufman_roberts_distribution,
+    multirate_blocking,
+    multirate_protection_level,
+)
+from repro.core.protection import min_protection_level
+from repro.routing.alternate import ControlledAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_multiclass_trace
+from repro.topology.generators import fully_connected, line
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import multiclass_unit_loads
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestTrafficClass:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficClass("x", -1.0, 1)
+        with pytest.raises(ValueError):
+            TrafficClass("x", 1.0, 0)
+
+
+class TestKaufmanRoberts:
+    def test_single_unit_class_reduces_to_erlang(self):
+        for load in (2.0, 9.0, 25.0):
+            for capacity in (1, 10, 40):
+                classes = [TrafficClass("a", load, 1)]
+                q = kaufman_roberts_distribution(classes, capacity)
+                assert q[capacity] == pytest.approx(erlang_b(load, capacity), rel=1e-9)
+
+    def test_distribution_normalizes(self):
+        classes = [TrafficClass("a", 5.0, 1), TrafficClass("b", 2.0, 3)]
+        q = kaufman_roberts_distribution(classes, 20)
+        assert q.sum() == pytest.approx(1.0)
+        assert (q >= 0).all()
+
+    def test_unreachable_occupancies_have_zero_mass(self):
+        # Only bandwidth-2 calls: odd occupancies are unreachable.
+        classes = [TrafficClass("two", 4.0, 2)]
+        q = kaufman_roberts_distribution(classes, 10)
+        assert (q[1::2] == 0.0).all()
+        assert q[0::2].sum() == pytest.approx(1.0)
+
+    def test_wider_calls_block_more(self):
+        classes = [TrafficClass("thin", 6.0, 1), TrafficClass("wide", 2.0, 5)]
+        blocking = multirate_blocking(classes, 20)
+        assert blocking["wide"] > blocking["thin"]
+
+    def test_class_wider_than_link_always_blocks(self):
+        classes = [TrafficClass("huge", 1.0, 30)]
+        blocking = multirate_blocking(classes, 20)
+        assert blocking["huge"] == 1.0
+
+    def test_matches_brute_force_two_class(self):
+        # Brute-force the stationary distribution of the two-class CTMC and
+        # compare per-class blocking.
+        import itertools
+
+        cap, l1, l2, b2 = 6, 2.0, 1.0, 2
+        states = [
+            (n1, n2)
+            for n1 in range(cap + 1)
+            for n2 in range(cap + 1)
+            if n1 + b2 * n2 <= cap
+        ]
+        index = {s: i for i, s in enumerate(states)}
+        rates = np.zeros((len(states), len(states)))
+        for (n1, n2), i in index.items():
+            if n1 + 1 + b2 * n2 <= cap:
+                rates[i, index[(n1 + 1, n2)]] += l1
+            if n1 + b2 * (n2 + 1) <= cap:
+                rates[i, index[(n1, n2 + 1)]] += l2
+            if n1 > 0:
+                rates[i, index[(n1 - 1, n2)]] += n1
+            if n2 > 0:
+                rates[i, index[(n1, n2 - 1)]] += n2
+        generator = rates - np.diag(rates.sum(axis=1))
+        # Solve pi Q = 0 with normalization.
+        a = np.vstack([generator.T, np.ones(len(states))])
+        b = np.zeros(len(states) + 1)
+        b[-1] = 1.0
+        pi, *__ = np.linalg.lstsq(a, b, rcond=None)
+        block1 = sum(p for (n1, n2), p in zip(states, pi) if n1 + 1 + b2 * n2 > cap)
+        block2 = sum(p for (n1, n2), p in zip(states, pi) if n1 + b2 * (n2 + 1) > cap)
+        kr = multirate_blocking(
+            [TrafficClass("one", l1, 1), TrafficClass("two", l2, b2)], cap
+        )
+        assert kr["one"] == pytest.approx(block1, abs=1e-9)
+        assert kr["two"] == pytest.approx(block2, abs=1e-9)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            kaufman_roberts_distribution([TrafficClass("a", 1.0, 1)], -1)
+
+
+class TestMultirateProtection:
+    def test_reduces_to_equation_15_for_unit_calls(self):
+        assert multirate_protection_level(74.0, 100, 6, 1) == min_protection_level(
+            74.0, 100, 6
+        )
+
+    def test_wider_alternates_need_more_protection(self):
+        r1 = multirate_protection_level(70.0, 100, 4, 1)
+        r4 = multirate_protection_level(70.0, 100, 4, 4)
+        assert r4 >= r1
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            multirate_protection_level(10.0, 100, 4, 0)
+
+
+class TestMulticlassTrace:
+    def test_deterministic(self):
+        classes = [
+            ("a", TrafficMatrix({(0, 1): 5.0}, num_nodes=2), 1),
+            ("b", TrafficMatrix({(1, 0): 3.0}, num_nodes=2), 2),
+        ]
+        x = generate_multiclass_trace(classes, 30.0, 4)
+        y = generate_multiclass_trace(classes, 30.0, 4)
+        assert np.array_equal(x.times, y.times)
+        assert np.array_equal(x.bandwidths, y.bandwidths)
+
+    def test_sorted_and_marked(self):
+        classes = [
+            ("a", TrafficMatrix({(0, 1): 5.0}, num_nodes=2), 1),
+            ("b", TrafficMatrix({(0, 1): 3.0}, num_nodes=2), 4),
+        ]
+        trace = generate_multiclass_trace(classes, 50.0, 0)
+        assert trace.is_multiclass
+        assert (np.diff(trace.times) >= 0).all()
+        assert set(np.unique(trace.bandwidths)) <= {1, 4}
+        # Bandwidth must agree with the class mark everywhere.
+        widths = np.where(trace.class_index == 0, 1, 4)
+        assert np.array_equal(trace.bandwidths, widths)
+
+    def test_class_counts(self):
+        classes = [
+            ("a", TrafficMatrix({(0, 1): 30.0}, num_nodes=2), 1),
+            ("b", TrafficMatrix({(0, 1): 10.0}, num_nodes=2), 2),
+        ]
+        trace = generate_multiclass_trace(classes, 100.0, 1)
+        assert trace.calls_for_class("a") + trace.calls_for_class("b") == trace.num_calls
+        share = trace.calls_for_class("a") / trace.num_calls
+        assert share == pytest.approx(0.75, abs=0.04)
+        assert trace.calls_for_class("missing") == 0
+
+    def test_validation(self):
+        matrix = TrafficMatrix({(0, 1): 1.0}, num_nodes=2)
+        with pytest.raises(ValueError):
+            generate_multiclass_trace([], 10.0, 0)
+        with pytest.raises(ValueError):
+            generate_multiclass_trace([("a", matrix, 1), ("a", matrix, 2)], 10.0, 0)
+        with pytest.raises(ValueError):
+            generate_multiclass_trace([("a", matrix, 0)], 10.0, 0)
+
+
+class TestMulticlassSimulation:
+    def test_single_link_matches_kaufman_roberts(self):
+        net = line(2, 20)
+        table = build_path_table(net)
+        classes = [
+            ("audio", TrafficMatrix({(0, 1): 8.0}, num_nodes=2), 1),
+            ("video", TrafficMatrix({(0, 1): 2.0}, num_nodes=2), 4),
+        ]
+        policy = SinglePathRouting(net, table)
+        per_class = {"audio": [], "video": []}
+        for seed in range(6):
+            trace = generate_multiclass_trace(classes, 310.0, seed)
+            result = simulate(net, policy, trace, warmup=10.0)
+            for name, value in result.class_blocking().items():
+                per_class[name].append(value)
+        expected = multirate_blocking(
+            [TrafficClass("audio", 8.0, 1), TrafficClass("video", 2.0, 4)], 20
+        )
+        assert np.mean(per_class["audio"]) == pytest.approx(expected["audio"], rel=0.25)
+        assert np.mean(per_class["video"]) == pytest.approx(expected["video"], rel=0.25)
+
+    def test_wide_call_books_and_releases_full_width(self):
+        # Capacity 4; a bandwidth-3 call plus a bandwidth-2 call cannot
+        # coexist, but sequential calls must both fit after release.
+        net = line(2, 4)
+        table = build_path_table(net)
+        classes = [("wide", TrafficMatrix({(0, 1): 3.0}, num_nodes=2), 3)]
+        policy = SinglePathRouting(net, table)
+        trace = generate_multiclass_trace(classes, 200.0, 2)
+        result = simulate(net, policy, trace, warmup=10.0)
+        # Only one wide call fits at a time: an M/M/1/1 loss system.
+        assert result.network_blocking == pytest.approx(3.0 / 4.0, abs=0.05)
+
+    def test_controlled_policy_with_multirate_protection(self):
+        net = fully_connected(3, 12)
+        table = build_path_table(net)
+        classes = [
+            ("thin", TrafficMatrix({(0, 1): 6.0, (0, 2): 3.0, (2, 1): 3.0}, num_nodes=3), 1),
+            ("wide", TrafficMatrix({(0, 1): 1.5}, num_nodes=3), 3),
+        ]
+        unit_loads = multiclass_unit_loads(net, table, classes)
+        levels = np.array(
+            [
+                multirate_protection_level(unit_loads[l.index], l.capacity, 2, 3)
+                for l in net.links
+            ],
+            dtype=np.int64,
+        )
+        policy = ControlledAlternateRouting(
+            net, table, unit_loads, protection_override=levels
+        )
+        single = SinglePathRouting(net, table)
+        diffs = []
+        for seed in range(4):
+            trace = generate_multiclass_trace(classes, 110.0, seed)
+            ctl = simulate(net, policy, trace, warmup=10.0)
+            sp = simulate(net, single, trace, warmup=10.0)
+            diffs.append(sp.network_blocking - ctl.network_blocking)
+        # The guarantee, multirate flavour: controlled >= single-path.
+        assert np.mean(diffs) > -0.01
+
+    def test_unit_loads_helper(self):
+        net = line(3, 10)
+        table = build_path_table(net)
+        classes = [
+            ("a", TrafficMatrix({(0, 2): 2.0}), 1),
+            ("b", TrafficMatrix({(0, 1): 1.0}), 5),
+        ]
+        loads = multiclass_unit_loads(net, table, classes)
+        first = [l.index for l in net.links if l.endpoints == (0, 1)][0]
+        second = [l.index for l in net.links if l.endpoints == (1, 2)][0]
+        assert loads[first] == pytest.approx(2.0 + 5.0)
+        assert loads[second] == pytest.approx(2.0)

@@ -1,0 +1,79 @@
+"""Tests for the NSFNet T3 backbone model (Figure 5 / Table 1 data)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology.nsfnet import (
+    NSFNET_DUPLEX_LINKS,
+    NSFNET_TABLE1_LOADS,
+    NSFNET_TABLE1_PROTECTION,
+    nsfnet_backbone,
+)
+from repro.topology.paths import min_hop_distances
+
+
+class TestTopology:
+    def test_node_and_link_counts(self):
+        net = nsfnet_backbone()
+        assert net.num_nodes == 12
+        assert net.num_links == 30  # 15 duplex links
+
+    def test_strongly_connected(self):
+        net = nsfnet_backbone()
+        for src in net.nodes():
+            assert max(min_hop_distances(net, src)) < float("inf")
+
+    def test_adjacency_matches_table1(self):
+        net = nsfnet_backbone()
+        directed = {link.endpoints for link in net.links}
+        assert directed == set(NSFNET_TABLE1_LOADS)
+
+    def test_every_duplex_link_is_bidirectional(self):
+        net = nsfnet_backbone()
+        for a, b in NSFNET_DUPLEX_LINKS:
+            assert net.has_link(a, b)
+            assert net.has_link(b, a)
+
+    def test_default_capacity(self):
+        net = nsfnet_backbone()
+        assert all(link.capacity == 100 for link in net.links)
+
+    def test_custom_capacity(self):
+        net = nsfnet_backbone(capacity=40)
+        assert all(link.capacity == 40 for link in net.links)
+
+    def test_degree_profile(self):
+        # Figure 5: degree-2 chain nodes and degree-3 junctions only.
+        net = nsfnet_backbone()
+        degrees = sorted(len(net.neighbors(n)) for n in net.nodes())
+        assert set(degrees) == {2, 3}
+
+    def test_node_names_present(self):
+        net = nsfnet_backbone()
+        assert net.node_name(0) != "0"
+
+    def test_sparse_mesh_cycle_dimension(self):
+        # 15 undirected edges on 12 nodes: cycle-space dimension 4, the
+        # sparseness that bounds the simple-path counts.
+        assert len(NSFNET_DUPLEX_LINKS) - 12 + 1 == 4
+
+
+class TestTable1Data:
+    def test_tables_cover_all_directed_links(self):
+        assert len(NSFNET_TABLE1_LOADS) == 30
+        assert set(NSFNET_TABLE1_LOADS) == set(NSFNET_TABLE1_PROTECTION)
+
+    def test_protection_levels_are_valid(self):
+        for (r6, r11) in NSFNET_TABLE1_PROTECTION.values():
+            assert 0 <= r6 <= 100
+            assert 0 <= r11 <= 100
+            assert r11 >= r6  # larger H demands at least as much protection
+
+    def test_overloaded_links_fully_protected_at_h11(self):
+        for endpoints, load in NSFNET_TABLE1_LOADS.items():
+            if load > 100:
+                assert NSFNET_TABLE1_PROTECTION[endpoints][1] == 100
+
+    def test_loads_positive(self):
+        assert all(load > 0 for load in NSFNET_TABLE1_LOADS.values())

@@ -1,0 +1,82 @@
+"""Tests for time-varying load profiles and nonstationary traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.matrix import TrafficMatrix
+from repro.traffic.profiles import LoadProfile, generate_nonstationary_trace
+
+
+class TestLoadProfile:
+    def test_constant(self):
+        profile = LoadProfile.constant(1.5)
+        assert profile.scale_at(0.0) == 1.5
+        assert profile.scale_at(1e9) == 1.5
+        assert profile.max_scale == 1.5
+
+    def test_step(self):
+        profile = LoadProfile.step(at=10.0, before=0.5, after=2.0)
+        assert profile.scale_at(9.999) == 0.5
+        assert profile.scale_at(10.0) == 2.0
+        assert profile.max_scale == 2.0
+
+    def test_day_night(self):
+        profile = LoadProfile.day_night(period=20.0, day_scale=1.0, night_scale=0.2, horizon=50.0)
+        assert profile.scale_at(5.0) == 1.0    # first half-period: day
+        assert profile.scale_at(15.0) == 0.2   # night
+        assert profile.scale_at(25.0) == 1.0   # day again
+        assert profile.scale_at(35.0) == 0.2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadProfile(breakpoints=(1.0,), scales=(1.0,))
+        with pytest.raises(ValueError):
+            LoadProfile(breakpoints=(), scales=(-0.1,))
+        with pytest.raises(ValueError):
+            LoadProfile(breakpoints=(2.0, 1.0), scales=(1.0, 1.0, 1.0))
+        with pytest.raises(ValueError):
+            LoadProfile.day_night(period=0.0, day_scale=1, night_scale=1, horizon=10)
+
+
+class TestNonstationaryTrace:
+    @pytest.fixture()
+    def traffic(self):
+        return TrafficMatrix({(0, 1): 50.0}, num_nodes=2)
+
+    def test_constant_profile_matches_stationary_statistics(self, traffic):
+        profile = LoadProfile.constant(1.0)
+        trace = generate_nonstationary_trace(traffic, profile, 100.0, seed=0)
+        # 50 E * 100 units: ~5000 calls.
+        assert abs(trace.num_calls - 5000) < 4 * np.sqrt(5000)
+
+    def test_step_profile_shifts_mass(self, traffic):
+        profile = LoadProfile.step(at=50.0, before=0.2, after=1.8)
+        trace = generate_nonstationary_trace(traffic, profile, 100.0, seed=1)
+        before = int(np.count_nonzero(trace.times < 50.0))
+        after = trace.num_calls - before
+        # Rates 10 vs 90 per unit: the ratio should be ~9.
+        assert after / max(before, 1) > 5.0
+
+    def test_deterministic(self, traffic):
+        profile = LoadProfile.step(at=30.0, before=1.0, after=0.5)
+        a = generate_nonstationary_trace(traffic, profile, 60.0, seed=3)
+        b = generate_nonstationary_trace(traffic, profile, 60.0, seed=3)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.od_index, b.od_index)
+
+    def test_sorted_and_bounded(self, traffic):
+        profile = LoadProfile.day_night(20.0, 1.0, 0.1, 80.0)
+        trace = generate_nonstationary_trace(traffic, profile, 80.0, seed=2)
+        assert (np.diff(trace.times) >= 0).all()
+        assert trace.times.size == 0 or trace.times[-1] <= 80.0
+
+    def test_zero_profile_empty(self, traffic):
+        profile = LoadProfile.constant(0.0)
+        trace = generate_nonstationary_trace(traffic, profile, 10.0, seed=0)
+        assert trace.num_calls == 0
+
+    def test_invalid_duration(self, traffic):
+        with pytest.raises(ValueError):
+            generate_nonstationary_trace(traffic, LoadProfile.constant(), 0.0, 0)

@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) on core invariants across the stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.erlang import erlang_b, erlang_b_sequence, generalized_erlang_b
+from repro.core.markov import link_chain
+from repro.core.protection import displacement_bound, min_protection_level
+from repro.routing.alternate import (
+    ControlledAlternateRouting,
+    UncontrolledAlternateRouting,
+)
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_trace
+from repro.topology.dalfar import dalfar_routes
+from repro.topology.generators import random_mesh
+from repro.topology.paths import (
+    build_path_table,
+    k_shortest_paths,
+    min_hop_path,
+    simple_paths_by_length,
+)
+from repro.traffic.generators import uniform_traffic
+
+
+loads = st.floats(min_value=0.0, max_value=500.0, allow_nan=False)
+capacities = st.integers(min_value=1, max_value=200)
+
+
+class TestErlangProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(load=loads, capacity=capacities)
+    def test_blocking_in_unit_interval(self, load, capacity):
+        assert 0.0 <= erlang_b(load, capacity) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(load=st.floats(min_value=0.01, max_value=300.0), capacity=capacities)
+    def test_sequence_decreasing_in_capacity(self, load, capacity):
+        seq = erlang_b_sequence(load, capacity)
+        assert (np.diff(seq) <= 1e-15).all()
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50
+        )
+    )
+    def test_generalized_blocking_in_unit_interval(self, rates):
+        assert 0.0 <= generalized_erlang_b(rates) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        load=st.floats(min_value=0.01, max_value=300.0),
+        capacity=st.integers(min_value=1, max_value=100),
+    )
+    def test_generalized_equals_classical_for_constant_rates(self, load, capacity):
+        assert generalized_erlang_b([load] * capacity) == pytest.approx(
+            erlang_b(load, capacity), rel=1e-9
+        )
+
+
+class TestChainProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.01, max_value=100.0),
+        capacity=st.integers(min_value=1, max_value=60),
+    )
+    def test_stationary_distribution_normalizes(self, rate, capacity):
+        pi = link_chain(rate, capacity).stationary_distribution()
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.01, max_value=100.0),
+        capacity=st.integers(min_value=2, max_value=60),
+    )
+    def test_passage_times_positive_and_increasing(self, rate, capacity):
+        tau = link_chain(rate, capacity).upward_passage_times()
+        assert (tau > 0).all()
+        # Climbing from a higher state takes longer in an M/M/C/C chain.
+        assert (np.diff(tau) > 0).all()
+
+
+class TestProtectionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        load=st.floats(min_value=0.0, max_value=300.0),
+        capacity=st.integers(min_value=1, max_value=150),
+        hops=st.integers(min_value=1, max_value=50),
+    )
+    def test_selected_level_valid_and_sufficient(self, load, capacity, hops):
+        r = min_protection_level(load, capacity, hops)
+        assert 0 <= r <= capacity
+        if r < capacity:
+            assert displacement_bound(load, capacity, r) <= 1.0 / hops + 1e-12
+
+
+class TestTopologyProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=3, max_value=9),
+        extra=st.integers(min_value=0, max_value=8),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_min_hop_paths_are_valid_and_minimal(self, num_nodes, extra, seed):
+        net = random_mesh(num_nodes, extra, 1, seed=seed)
+        for dst in range(1, num_nodes):
+            path = min_hop_path(net, 0, dst)
+            assert path is not None
+            assert net.is_valid_path(path)
+            pool = simple_paths_by_length(net, 0, dst)
+            assert len(path) == len(pool[0])
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=3, max_value=8),
+        extra=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_k_shortest_is_prefix_of_enumeration(self, num_nodes, extra, seed, k):
+        net = random_mesh(num_nodes, extra, 1, seed=seed)
+        dst = num_nodes - 1
+        full = simple_paths_by_length(net, 0, dst)
+        assert k_shortest_paths(net, 0, dst, k) == full[: min(k, len(full))]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=3, max_value=8),
+        extra=st.integers(min_value=0, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+        max_hops=st.integers(min_value=1, max_value=7),
+    )
+    def test_dalfar_equals_centralized(self, num_nodes, extra, seed, max_hops):
+        net = random_mesh(num_nodes, extra, 1, seed=seed)
+        dst = num_nodes - 1
+        assert dalfar_routes(net, 0, dst, max_hops) == simple_paths_by_length(
+            net, 0, dst, max_hops
+        )
+
+
+class TestSimulationProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        load=st.floats(min_value=10.0, max_value=120.0),
+    )
+    def test_accounting_identity(self, quad_network, quad_table, seed, load):
+        traffic = uniform_traffic(4, load)
+        trace = generate_trace(traffic, 15.0, seed)
+        for policy in (
+            SinglePathRouting(quad_network, quad_table),
+            UncontrolledAlternateRouting(quad_network, quad_table),
+        ):
+            result = simulate(quad_network, policy, trace, warmup=5.0)
+            carried = result.primary_carried + result.alternate_carried
+            assert carried + result.total_blocked == result.total_offered
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_full_protection_equals_single_path(self, quad_network, quad_table, seed):
+        traffic = uniform_traffic(4, 100.0)
+        loads_arr = np.full(quad_network.num_links, 100.0)
+        full = np.array([l.capacity for l in quad_network.links], dtype=np.int64)
+        controlled = ControlledAlternateRouting(
+            quad_network, quad_table, loads_arr, protection_override=full
+        )
+        single = SinglePathRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 15.0, seed)
+        a = simulate(quad_network, controlled, trace, warmup=5.0)
+        b = simulate(quad_network, single, trace, warmup=5.0)
+        assert np.array_equal(a.blocked, b.blocked)
+
+
+class TestMultirateProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        load1=st.floats(min_value=0.0, max_value=50.0),
+        load2=st.floats(min_value=0.0, max_value=20.0),
+        bandwidth=st.integers(min_value=1, max_value=8),
+        capacity=st.integers(min_value=1, max_value=60),
+    )
+    def test_kaufman_roberts_is_a_distribution(self, load1, load2, bandwidth, capacity):
+        from repro.core.multirate import TrafficClass, kaufman_roberts_distribution
+
+        classes = [TrafficClass("a", load1, 1), TrafficClass("b", load2, bandwidth)]
+        q = kaufman_roberts_distribution(classes, capacity)
+        assert q.shape == (capacity + 1,)
+        assert (q >= 0).all()
+        assert q.sum() == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        load=st.floats(min_value=0.1, max_value=80.0),
+        capacity=st.integers(min_value=2, max_value=100),
+        b_small=st.integers(min_value=1, max_value=4),
+        extra=st.integers(min_value=1, max_value=4),
+    )
+    def test_wider_class_blocks_at_least_as_much(self, load, capacity, b_small, extra):
+        from repro.core.multirate import TrafficClass, multirate_blocking
+
+        b_large = b_small + extra
+        classes = [
+            TrafficClass("small", load, b_small),
+            TrafficClass("large", load / 2, b_large),
+        ]
+        blocking = multirate_blocking(classes, capacity)
+        assert blocking["large"] >= blocking["small"] - 1e-12
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        unit_load=st.floats(min_value=0.0, max_value=200.0),
+        capacity=st.integers(min_value=1, max_value=120),
+        hops=st.integers(min_value=1, max_value=12),
+        bandwidth=st.integers(min_value=1, max_value=6),
+    )
+    def test_multirate_protection_valid_and_monotone(
+        self, unit_load, capacity, hops, bandwidth
+    ):
+        from repro.core.multirate import multirate_protection_level
+
+        r = multirate_protection_level(unit_load, capacity, hops, bandwidth)
+        assert 0 <= r <= capacity
+        wider = multirate_protection_level(unit_load, capacity, hops, bandwidth + 1)
+        assert wider >= r
+
+
+class TestProfileProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        at=st.floats(min_value=1.0, max_value=49.0),
+        before=st.floats(min_value=0.0, max_value=3.0),
+        after=st.floats(min_value=0.0, max_value=3.0),
+        query=st.floats(min_value=0.0, max_value=50.0),
+    )
+    def test_step_profile_scale_lookup(self, at, before, after, query):
+        from repro.traffic.profiles import LoadProfile
+
+        profile = LoadProfile.step(at=at, before=before, after=after)
+        expected = before if query < at else after
+        assert profile.scale_at(query) == expected
+        assert profile.max_scale == max(before, after)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_nonstationary_trace_is_valid(self, seed):
+        from repro.traffic.matrix import TrafficMatrix
+        from repro.traffic.profiles import LoadProfile, generate_nonstationary_trace
+
+        traffic = TrafficMatrix({(0, 1): 20.0}, num_nodes=2)
+        profile = LoadProfile.day_night(10.0, 1.0, 0.2, 40.0)
+        trace = generate_nonstationary_trace(traffic, profile, 40.0, seed)
+        assert (np.diff(trace.times) >= 0).all()
+        assert (trace.holding_times > 0).all()
+        assert trace.times.size == 0 or 0 <= trace.times[0] <= trace.times[-1] <= 40.0
+
+
+class TestCalibrationProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        scale=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_calibration_recovers_link_loads(self, seed, scale):
+        from repro.topology.generators import random_mesh
+        from repro.topology.paths import build_path_table
+        from repro.traffic.calibration import calibrate_traffic
+        from repro.traffic.demand import loads_by_endpoints, primary_link_loads
+        from repro.traffic.generators import random_traffic
+
+        net = random_mesh(6, 3, 10, seed=seed)
+        table = build_path_table(net)
+        truth = random_traffic(6, mean=scale, seed=seed)
+        targets = loads_by_endpoints(net, primary_link_loads(net, table, truth))
+        result = calibrate_traffic(net, targets)
+        recovered = loads_by_endpoints(
+            net, primary_link_loads(net, table, result.traffic)
+        )
+        for endpoints, value in targets.items():
+            assert recovered[endpoints] == pytest.approx(value, abs=1e-6)

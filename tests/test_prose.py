@@ -1,0 +1,129 @@
+"""Tests for the Section-4.2.2 prose-experiment functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.prose import (
+    PAPER_FAILURE_SCENARIOS,
+    fairness_comparison,
+    link_failure_comparison,
+    minloss_comparison,
+)
+from repro.experiments.runner import ReplicationConfig
+
+TINY = ReplicationConfig(measured_duration=8.0, warmup=2.0, seeds=(0, 1))
+
+
+class TestScenarios:
+    def test_paper_scenarios(self):
+        names = [s.name for s in PAPER_FAILURE_SCENARIOS]
+        assert names == ["intact", "fail 2<->3", "fail 7<->9"]
+        assert PAPER_FAILURE_SCENARIOS[0].duplex_links == ()
+
+
+class TestLinkFailureComparison:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return link_failure_comparison(TINY)
+
+    def test_all_scenarios_present(self, outcome):
+        assert set(outcome) == {"intact", "fail 2<->3", "fail 7<->9"}
+
+    def test_all_policies_present(self, outcome):
+        for stats in outcome.values():
+            assert set(stats) == {"single-path", "uncontrolled", "controlled"}
+
+    def test_failures_do_not_reduce_single_path_blocking(self, outcome):
+        intact = outcome["intact"]["single-path"].mean
+        for name in ("fail 2<->3", "fail 7<->9"):
+            assert outcome[name]["single-path"].mean >= intact - 0.02
+
+
+class TestFairnessComparison:
+    def test_reports_structure(self):
+        reports = fairness_comparison(TINY)
+        assert set(reports) == {"single-path", "uncontrolled", "controlled"}
+        for report in reports.values():
+            assert report.pairs > 100  # nearly all 132 pairs offered calls
+            assert 0.0 <= report.mean <= 1.0
+
+
+class TestMinlossComparison:
+    def test_structure_and_claims(self):
+        stats, solution = minloss_comparison(TINY, max_iterations=30)
+        assert set(stats) == {
+            "single/min-hop", "single/min-loss",
+            "controlled/min-hop", "controlled/min-loss",
+        }
+        assert solution.bifurcated_pairs() > 0
+        assert solution.objective > 0
+
+
+class TestGeneralMeshComparison:
+    def test_structure_and_guarantee(self):
+        from repro.experiments.generalization import (
+            STANDARD_MESH_CASES,
+            general_mesh_comparison,
+        )
+
+        assert [case.name for case in STANDARD_MESH_CASES] == [
+            "torus-3x3", "waxman-10", "random-8+6",
+        ]
+        outcome = general_mesh_comparison(TINY)
+        assert set(outcome) == {case.name for case in STANDARD_MESH_CASES}
+        for name, stats in outcome.items():
+            assert stats["controlled"].mean <= stats["single-path"].mean + 0.03, name
+
+    def test_traffic_is_skewed_gravity(self):
+        from repro.experiments.generalization import STANDARD_MESH_CASES
+
+        case = STANDARD_MESH_CASES[0]
+        traffic = case.traffic()
+        assert traffic.total == pytest.approx(case.total_erlangs)
+        values = [v for __, v in traffic.positive_pairs()]
+        assert max(values) / min(values) > 3.0
+
+
+class TestForecastRobustness:
+    def test_perturbation_preserves_expected_total(self):
+        import numpy as np
+
+        from repro.experiments.robustness import perturbed_traffic
+        from repro.traffic.generators import uniform_traffic
+
+        nominal = uniform_traffic(6, 10.0)
+        totals = [
+            perturbed_traffic(nominal, 0.5, seed).total for seed in range(200)
+        ]
+        # Mean-one factors: the expected total matches the nominal.
+        assert np.mean(totals) == pytest.approx(nominal.total, rel=0.03)
+
+    def test_zero_sigma_is_identity(self):
+        from repro.experiments.robustness import perturbed_traffic
+        from repro.traffic.generators import uniform_traffic
+
+        nominal = uniform_traffic(4, 5.0)
+        assert perturbed_traffic(nominal, 0.0, 1) is nominal
+
+    def test_negative_sigma_rejected(self):
+        from repro.experiments.robustness import perturbed_traffic
+        from repro.traffic.generators import uniform_traffic
+
+        with pytest.raises(ValueError):
+            perturbed_traffic(uniform_traffic(4, 5.0), -0.1, 0)
+
+    def test_sweep_structure(self):
+        from repro.experiments.robustness import forecast_error_sweep
+        from repro.topology.generators import quadrangle
+        from repro.topology.paths import build_path_table
+        from repro.traffic.generators import uniform_traffic
+
+        net = quadrangle(100)
+        table = build_path_table(net)
+        outcome = forecast_error_sweep(
+            net, table, uniform_traffic(4, 90.0), sigmas=(0.0, 0.5), config=TINY
+        )
+        assert set(outcome) == {0.0, 0.5}
+        for stats in outcome.values():
+            assert set(stats) == {"single-path", "uncontrolled", "controlled"}

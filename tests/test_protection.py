@@ -1,0 +1,171 @@
+"""Unit tests for state-protection level selection (Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import erlang_b
+from repro.core.protection import (
+    displacement_bound,
+    figure2_curve,
+    min_protection_level,
+    protection_levels,
+)
+
+# Table 1 of the paper, keyed by the printed integer load (C = 100):
+# load -> (r for H=6, r for H=11).  Four rows of the paper's table disagree
+# by <= 2 with the values computed from the printed loads because the paper
+# rounded Lambda before printing; those rows are listed separately.
+TABLE1_EXACT = {
+    74: (7, 10), 77: (8, 12), 71: (6, 8), 37: (2, 3), 46: (3, 4), 34: (2, 3),
+    16: (1, 2), 49: (3, 4), 54: (3, 4), 65: (5, 6), 81: (11, 15), 87: (16, 26),
+    73: (7, 9), 43: (3, 3), 76: (8, 11), 124: (100, 100), 39: (2, 3),
+    48: (3, 4), 167: (100, 100), 85: (14, 22), 154: (100, 100),
+}
+TABLE1_ROUNDING_AFFECTED = {63: (4, 6), 103: (56, 100), 107: (70, 100), 104: (60, 100)}
+
+
+class TestDisplacementBound:
+    def test_zero_protection_gives_unity(self):
+        assert displacement_bound(50.0, 100, 0) == pytest.approx(1.0)
+
+    def test_matches_erlang_ratio(self):
+        load, capacity, protection = 80.0, 100, 10
+        expected = erlang_b(load, capacity) / erlang_b(load, capacity - protection)
+        assert displacement_bound(load, capacity, protection) == pytest.approx(expected)
+
+    def test_monotone_nonincreasing_in_protection(self):
+        values = [displacement_bound(70.0, 100, r) for r in range(0, 101)]
+        assert all(b2 <= b1 + 1e-15 for b1, b2 in zip(values, values[1:]))
+
+    def test_zero_load(self):
+        # No primary traffic means nothing to displace at any protection.
+        assert displacement_bound(0.0, 10, 3) == 0.0
+        assert displacement_bound(0.0, 10, 10) == 0.0
+
+    def test_tiny_load_ratio_computed_in_log_space(self):
+        # B(1e-7, 39) underflows, but the ratio B(.,39)/B(.,38) ~ load/39
+        # must still come out right.
+        bound = displacement_bound(1.192092896e-07, 39, 1)
+        assert bound == pytest.approx(1.192092896e-07 / 39.0, rel=1e-6)
+        # And Equation 15 therefore needs r = 1 for any H >= 2.
+        assert min_protection_level(1.192092896e-07, 39, 2) == 1
+
+    def test_out_of_range_protection_rejected(self):
+        with pytest.raises(ValueError):
+            displacement_bound(10.0, 10, 11)
+        with pytest.raises(ValueError):
+            displacement_bound(10.0, 10, -1)
+
+
+class TestMinProtectionLevel:
+    @pytest.mark.parametrize("load,expected", sorted(TABLE1_EXACT.items()))
+    def test_table1_values(self, load, expected):
+        r6, r11 = expected
+        assert min_protection_level(load, 100, 6) == r6
+        assert min_protection_level(load, 100, 11) == r11
+
+    @pytest.mark.parametrize("load,expected", sorted(TABLE1_ROUNDING_AFFECTED.items()))
+    def test_table1_rounding_affected_rows_are_close(self, load, expected):
+        r6, r11 = expected
+        assert abs(min_protection_level(load, 100, 6) - r6) <= 2
+        assert abs(min_protection_level(load, 100, 11) - r11) <= 2
+
+    def test_result_satisfies_inequality(self):
+        for load in (10.0, 50.0, 90.0, 99.0):
+            for hops in (2, 6, 11):
+                r = min_protection_level(load, 100, hops)
+                assert displacement_bound(load, 100, r) <= 1.0 / hops + 1e-12
+
+    def test_result_is_minimal(self):
+        for load in (30.0, 75.0, 95.0):
+            for hops in (3, 8):
+                r = min_protection_level(load, 100, hops)
+                if r > 0:
+                    assert displacement_bound(load, 100, r - 1) > 1.0 / hops
+
+    def test_monotone_in_hops(self):
+        for load in (40.0, 80.0):
+            values = [min_protection_level(load, 100, h) for h in range(1, 30)]
+            assert all(r2 >= r1 for r1, r2 in zip(values, values[1:]))
+
+    def test_monotone_in_load(self):
+        values = [min_protection_level(load, 100, 6) for load in range(1, 101)]
+        assert all(r2 >= r1 for r1, r2 in zip(values, values[1:]))
+
+    def test_h_equals_one_never_needs_protection(self):
+        # 1/H = 1 and the bound at r=0 is exactly 1.
+        assert min_protection_level(60.0, 100, 1) == 0
+
+    def test_overload_gives_full_protection(self):
+        assert min_protection_level(200.0, 100, 6) == 100
+
+    def test_zero_load_needs_no_protection(self):
+        assert min_protection_level(0.0, 100, 11) == 0
+
+    def test_paper_section32_heavy_h_claim(self):
+        # Section 3.2: for H in [1000, 2000], r is in [10, 20] at 50 Erlangs
+        # on a 100-capacity link.
+        for hops in (1000, 1500, 2000):
+            r = min_protection_level(50.0, 100, hops)
+            assert 10 <= r <= 20
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            min_protection_level(10.0, 0, 6)
+        with pytest.raises(ValueError):
+            min_protection_level(10.0, 100, 0)
+        with pytest.raises(ValueError):
+            min_protection_level(-5.0, 100, 6)
+
+
+class TestProtectionLevels:
+    def test_mapping_form(self):
+        loads = {"a": 74.0, "b": 16.0}
+        caps = {"a": 100, "b": 100}
+        levels = protection_levels(loads, caps, 6)
+        assert levels == {"a": 7, "b": 1}
+
+    def test_sequence_form(self):
+        levels = protection_levels([74.0, 16.0], [100, 100], 6)
+        assert levels == {0: 7, 1: 1}
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            protection_levels({"a": 1.0}, {"b": 100}, 6)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            protection_levels([1.0], [100, 100], 6)
+
+    def test_mixed_types_rejected(self):
+        with pytest.raises(TypeError):
+            protection_levels({"a": 1.0}, [100], 6)
+
+
+class TestFigure2:
+    def test_default_range(self):
+        loads, r = figure2_curve(100, 6)
+        assert loads[0] == 1.0
+        assert loads[-1] == 100.0
+        assert len(loads) == len(r) == 100
+
+    def test_curves_ordered_by_hops(self):
+        __, r2 = figure2_curve(100, 2)
+        __, r6 = figure2_curve(100, 6)
+        __, r120 = figure2_curve(100, 120)
+        assert (r6 >= r2).all()
+        assert (r120 >= r6).all()
+
+    def test_contained_growth_claim(self):
+        # The paper: the increase of r with H is contained; at half load the
+        # H=120 curve is still a small fraction of capacity.
+        __, r120 = figure2_curve(100, 120)
+        assert r120[49] <= 15  # Lambda = 50
+
+    def test_custom_loads(self):
+        loads, r = figure2_curve(100, 6, loads=[25.0, 75.0])
+        assert list(loads) == [25.0, 75.0]
+        assert r.shape == (2,)
+        assert (np.diff(r) >= 0).all()

@@ -1,0 +1,81 @@
+"""Tests for the experiment registry and its CLI surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.runner import ReplicationConfig
+
+TINY = ReplicationConfig(measured_duration=3.0, warmup=1.0, seeds=(0,))
+
+
+class TestRegistry:
+    def test_ids_match_design_document(self):
+        assert {
+            "FIG2", "TAB1", "FIG3", "FIG6", "EXP-H6", "EXP-OK",
+            "EXP-FAIL", "EXP-FAIR", "EXP-MINLOSS", "EXT-BIST",
+        } <= set(EXPERIMENTS)
+
+    def test_bistability_report(self):
+        report = run_experiment("EXT-BIST", TINY)
+        assert "#fp(r=0)" in report
+
+    def test_every_entry_names_a_benchmark_file(self):
+        from pathlib import Path
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        for experiment in EXPERIMENTS.values():
+            assert (bench_dir / experiment.bench).exists(), experiment.bench
+
+    def test_list_output(self):
+        text = list_experiments()
+        assert "FIG3" in text
+        assert "bench_fig3_quadrangle.py" in text
+
+    def test_run_analytic_experiments(self):
+        fig2 = run_experiment("FIG2", TINY)
+        assert "r(H=6)" in fig2
+        tab1 = run_experiment("tab1", TINY)  # case-insensitive
+        assert "agreement" in tab1
+
+    def test_run_simulation_experiment(self):
+        report = run_experiment("FIG3", TINY)
+        assert "controlled" in report
+        assert "single-path" in report
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("FIG99", TINY)
+
+
+class TestCliIntegration:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        assert "TAB1" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "FIG2", "--seeds", "1", "--duration", "3"]) == 0
+        assert "Lambda" in capsys.readouterr().out
+
+
+class TestRunAll:
+    def test_report_contains_every_experiment(self, tmp_path):
+        from repro.experiments.registry import run_all
+
+        report = run_all(TINY)
+        for experiment_id in EXPERIMENTS:
+            assert f"## {experiment_id} " in report
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert main(
+            ["report", "--seeds", "1", "--duration", "3", "--output", str(out)]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert "Regenerated paper artifacts" in out.read_text()

@@ -1,0 +1,177 @@
+"""Tests for the packet-level call-setup signaling protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing.alternate import (
+    ControlledAlternateRouting,
+    UncontrolledAlternateRouting,
+)
+from repro.routing.shadow import OttKrishnanRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.signaling import (
+    SignalingConfig,
+    SignalingSimulator,
+    simulate_signaling,
+)
+from repro.sim.simulator import simulate
+from repro.sim.trace import generate_multiclass_trace, generate_trace
+from repro.topology.generators import line
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestConfig:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SignalingConfig(propagation_delay=-1.0)
+
+    def test_shadow_policy_rejected(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 10.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        policy = OttKrishnanRouting(quad_network, quad_table, loads)
+        trace = generate_trace(traffic, 20.0, 0)
+        with pytest.raises(ValueError):
+            SignalingSimulator(quad_network, policy, trace)
+
+    def test_multiclass_trace_rejected(self, quad_network, quad_table):
+        classes = [("a", uniform_traffic(4, 5.0), 2)]
+        trace = generate_multiclass_trace(classes, 20.0, 0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        with pytest.raises(ValueError):
+            SignalingSimulator(quad_network, policy, trace)
+
+    def test_bad_warmup_rejected(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 10.0)
+        trace = generate_trace(traffic, 20.0, 0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        with pytest.raises(ValueError):
+            SignalingSimulator(quad_network, policy, trace, warmup=20.0)
+
+
+class TestZeroDelayEquivalence:
+    """With no propagation delay the protocol is atomic per arrival and must
+    reproduce the flow-level simulator decision for decision."""
+
+    @pytest.mark.parametrize("load", [80.0, 95.0, 105.0])
+    def test_uncontrolled_matches_flow_simulator(self, quad_network, quad_table, load):
+        traffic = uniform_traffic(4, load)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 1)
+        flow = simulate(quad_network, policy, trace, 5.0)
+        signaling, __ = simulate_signaling(quad_network, policy, trace, 5.0)
+        assert np.array_equal(flow.blocked, signaling.blocked)
+        assert flow.primary_carried == signaling.primary_carried
+        assert flow.alternate_carried == signaling.alternate_carried
+
+    def test_controlled_matches_flow_simulator(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 95.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        policy = ControlledAlternateRouting(quad_network, quad_table, loads)
+        trace = generate_trace(traffic, 25.0, 2)
+        flow = simulate(quad_network, policy, trace, 5.0)
+        signaling, stats = simulate_signaling(quad_network, policy, trace, 5.0)
+        assert np.array_equal(flow.blocked, signaling.blocked)
+        assert stats.race_aborts == 0  # atomic: no check/book separation
+
+    def test_setup_latency_zero_without_delay(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 60.0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 3)
+        __, stats = simulate_signaling(quad_network, policy, trace, 5.0)
+        assert stats.mean_setup_latency == 0.0
+        assert stats.established > 0
+
+
+class TestProtocolMechanics:
+    def test_crankbacks_counted(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 100.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 4)
+        __, stats = simulate_signaling(quad_network, policy, trace, 5.0)
+        assert stats.crankbacks > 0
+
+    def test_latency_scales_with_route_length(self):
+        # A lightly loaded 3-hop line: round trip = 6 hops of delay.
+        net = line(4, 50)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 3): 5.0})
+        policy = SinglePathRouting(net, table)
+        trace = generate_trace(traffic, 60.0, 0)
+        delay = 0.001
+        __, stats = simulate_signaling(net, policy, trace, 10.0, propagation_delay=delay)
+        assert stats.mean_setup_latency == pytest.approx(6 * delay, rel=1e-6)
+
+    def test_race_aborts_appear_with_delay(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 100.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 5)
+        __, stats = simulate_signaling(
+            quad_network, policy, trace, 5.0, propagation_delay=0.005
+        )
+        assert stats.race_aborts > 0
+
+    def test_occupancy_consistency_under_races(self, quad_network, quad_table):
+        # Whatever the race outcomes, every booking must eventually be
+        # released: rerunning the trace to completion leaves no leaked
+        # circuits (blocking at light load returns to zero).
+        heavy = uniform_traffic(4, 100.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(heavy, 30.0, 6)
+        simulator = SignalingSimulator(
+            quad_network, policy, trace, 5.0, SignalingConfig(propagation_delay=0.01)
+        )
+        simulator.run()
+        # The event queue drained; follow with a light probe on fresh state
+        # via a new simulator to assert the class has no global state.
+        light = uniform_traffic(4, 1.0)
+        probe = generate_trace(light, 30.0, 7)
+        result, __ = simulate_signaling(quad_network, policy, probe, 5.0)
+        assert result.network_blocking == 0.0
+
+    def test_blocking_degrades_gracefully_with_delay(self, quad_network, quad_table):
+        # More delay -> more stale checks -> no better blocking.
+        traffic = uniform_traffic(4, 95.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 8)
+        results = []
+        for delay in (0.0, 0.01):
+            result, __ = simulate_signaling(
+                quad_network, policy, trace, 5.0, propagation_delay=delay
+            )
+            results.append(result.network_blocking)
+        assert results[1] >= results[0] - 0.01
+
+
+class TestNsfnetIntegration:
+    def test_zero_delay_matches_flow_on_nsfnet(self, nsfnet, nsfnet_table):
+        from repro.traffic.calibration import nsfnet_nominal_traffic
+        from repro.traffic.demand import primary_link_loads
+
+        traffic = nsfnet_nominal_traffic()
+        loads = primary_link_loads(nsfnet, nsfnet_table, traffic)
+        policy = ControlledAlternateRouting(nsfnet, nsfnet_table, loads)
+        trace = generate_trace(traffic, 15.0, 0)
+        flow = simulate(nsfnet, policy, trace, 5.0)
+        signaling, stats = simulate_signaling(nsfnet, policy, trace, 5.0)
+        assert np.array_equal(flow.blocked, signaling.blocked)
+        assert stats.established == flow.primary_carried + flow.alternate_carried
+
+    def test_realistic_delay_negligible_on_nsfnet(self, nsfnet, nsfnet_table):
+        from repro.traffic.calibration import nsfnet_nominal_traffic
+        from repro.traffic.demand import primary_link_loads
+
+        traffic = nsfnet_nominal_traffic()
+        loads = primary_link_loads(nsfnet, nsfnet_table, traffic)
+        policy = ControlledAlternateRouting(nsfnet, nsfnet_table, loads)
+        trace = generate_trace(traffic, 15.0, 1)
+        atomic = simulate(nsfnet, policy, trace, 5.0).network_blocking
+        delayed, stats = simulate_signaling(
+            nsfnet, policy, trace, 5.0, propagation_delay=1e-4
+        )
+        assert abs(delayed.network_blocking - atomic) < 0.01
+        assert stats.race_aborts < stats.established * 0.01

@@ -1,0 +1,300 @@
+"""Tests for the call-by-call loss-network simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.erlang import erlang_b
+from repro.routing.alternate import (
+    ControlledAlternateRouting,
+    UncontrolledAlternateRouting,
+)
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.simulator import LossNetworkSimulator, simulate
+from repro.sim.trace import generate_trace
+from repro.topology.generators import fully_connected, line
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import primary_link_loads
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.matrix import TrafficMatrix
+
+
+def single_link_network(capacity: int):
+    net = line(2, capacity)
+    return net, build_path_table(net)
+
+
+class TestAgainstErlangB:
+    def test_single_link_blocking_matches_erlang(self):
+        # An isolated link offered Poisson traffic is an M/M/C/C queue; the
+        # simulated blocking must match Erlang-B within sampling error.
+        capacity, load = 10, 8.0
+        net, table = single_link_network(capacity)
+        traffic = TrafficMatrix({(0, 1): load}, num_nodes=2)
+        policy = SinglePathRouting(net, table)
+        values = []
+        for seed in range(8):
+            trace = generate_trace(traffic, 510.0, seed)
+            values.append(simulate(net, policy, trace, warmup=10.0).network_blocking)
+        expected = erlang_b(load, capacity)
+        assert np.mean(values) == pytest.approx(expected, rel=0.12)
+
+    def test_light_load_rarely_blocks(self):
+        net, table = single_link_network(20)
+        traffic = TrafficMatrix({(0, 1): 2.0}, num_nodes=2)
+        trace = generate_trace(traffic, 110.0, 0)
+        result = simulate(net, SinglePathRouting(net, table), trace)
+        assert result.network_blocking < 1e-3
+
+
+class TestAccounting:
+    def test_offered_splits_into_carried_and_blocked(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 90.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 30.0, 1)
+        result = simulate(quad_network, policy, trace, warmup=5.0)
+        carried = result.primary_carried + result.alternate_carried
+        assert carried + result.total_blocked == result.total_offered
+
+    def test_offered_counts_only_after_warmup(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 50.0)
+        trace = generate_trace(traffic, 30.0, 2)
+        policy = SinglePathRouting(quad_network, quad_table)
+        result = simulate(quad_network, policy, trace, warmup=5.0)
+        expected = int(np.count_nonzero(trace.times >= 5.0))
+        assert result.total_offered == expected
+
+    def test_single_path_never_uses_alternates(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 95.0)
+        trace = generate_trace(traffic, 30.0, 3)
+        result = simulate(quad_network, SinglePathRouting(quad_network, quad_table), trace)
+        assert result.alternate_carried == 0
+
+    def test_disconnected_pair_blocks_everything(self):
+        net = line(3, 5)
+        net.fail_duplex_link(1, 2)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 4.0, (0, 1): 1.0})
+        trace = generate_trace(traffic, 60.0, 0)
+        result = simulate(net, SinglePathRouting(net, table), trace)
+        blocking = result.pair_blocking()
+        assert blocking[(0, 2)] == 1.0
+        assert blocking[(0, 1)] < 0.2
+
+
+class TestPolicyEquivalences:
+    def test_full_protection_equals_single_path_pathwise(self, quad_network, quad_table):
+        # With r = C on every link no alternate is ever admitted, so the
+        # controlled scheme must reproduce single-path decisions *exactly*.
+        traffic = uniform_traffic(4, 95.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        full = np.array([l.capacity for l in quad_network.links], dtype=np.int64)
+        controlled = ControlledAlternateRouting(
+            quad_network, quad_table, loads, protection_override=full
+        )
+        single = SinglePathRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 40.0, 5)
+        a = simulate(quad_network, controlled, trace)
+        b = simulate(quad_network, single, trace)
+        assert np.array_equal(a.blocked, b.blocked)
+        assert a.alternate_carried == 0
+
+    def test_zero_protection_equals_uncontrolled_pathwise(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 95.0)
+        loads = primary_link_loads(quad_network, quad_table, traffic)
+        zero = np.zeros(quad_network.num_links, dtype=np.int64)
+        controlled = ControlledAlternateRouting(
+            quad_network, quad_table, loads, protection_override=zero
+        )
+        uncontrolled = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 40.0, 6)
+        a = simulate(quad_network, controlled, trace)
+        b = simulate(quad_network, uncontrolled, trace)
+        assert np.array_equal(a.blocked, b.blocked)
+        assert a.alternate_carried == b.alternate_carried
+
+    def test_all_policies_identical_without_alternate_paths(self):
+        net = line(4, 8)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 3): 6.0, (3, 0): 6.0, (1, 2): 3.0})
+        loads = primary_link_loads(net, table, traffic)
+        trace = generate_trace(traffic, 60.0, 7)
+        results = [
+            simulate(net, policy, trace)
+            for policy in (
+                SinglePathRouting(net, table),
+                UncontrolledAlternateRouting(net, table),
+                ControlledAlternateRouting(net, table, loads),
+            )
+        ]
+        assert np.array_equal(results[0].blocked, results[1].blocked)
+        assert np.array_equal(results[0].blocked, results[2].blocked)
+
+
+class TestStateProtectionMechanics:
+    def test_alternate_admission_respects_threshold(self):
+        # Triangle: pair (0,1) has direct capacity 1 and one 2-hop alternate
+        # through node 2.  Set the relay links' protection so alternates are
+        # admitted only when the relay is empty; saturate the relay with its
+        # own primary traffic and check no alternate ever lands on it.
+        net = fully_connected(3, 1)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 1): 30.0, (0, 2): 30.0, (2, 1): 30.0})
+        loads = primary_link_loads(net, table, traffic)
+        override = np.ones(net.num_links, dtype=np.int64)  # r = 1 = C everywhere
+        controlled = ControlledAlternateRouting(
+            net, table, loads, protection_override=override
+        )
+        trace = generate_trace(traffic, 30.0, 8)
+        result = simulate(net, controlled, trace)
+        assert result.alternate_carried == 0
+
+    def test_uncontrolled_uses_alternates_under_stress(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 95.0)
+        trace = generate_trace(traffic, 30.0, 9)
+        result = simulate(
+            quad_network, UncontrolledAlternateRouting(quad_network, quad_table), trace
+        )
+        assert result.alternate_carried > 0
+
+
+class TestValidation:
+    def test_bad_warmup_rejected(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 10.0)
+        trace = generate_trace(traffic, 20.0, 0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        with pytest.raises(ValueError):
+            LossNetworkSimulator(quad_network, policy, trace, warmup=25.0)
+        with pytest.raises(ValueError):
+            LossNetworkSimulator(quad_network, policy, trace, warmup=-1.0)
+
+    def test_policy_network_mismatch_rejected(self, quad_table, quad_network):
+        other = line(2, 5)
+        traffic = uniform_traffic(4, 10.0)
+        trace = generate_trace(traffic, 20.0, 0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        with pytest.raises(ValueError):
+            LossNetworkSimulator(other, policy, trace)
+
+
+class TestLinkStatistics:
+    def test_mean_occupancy_matches_carried_load(self):
+        # M/M/C/C: time-averaged occupancy = a * (1 - B).
+        from repro.core.erlang import erlang_b
+
+        capacity, load = 10, 8.0
+        net, table = single_link_network(capacity)
+        traffic = TrafficMatrix({(0, 1): load}, num_nodes=2)
+        policy = SinglePathRouting(net, table)
+        values = []
+        for seed in range(6):
+            simulator = LossNetworkSimulator(
+                net, policy, generate_trace(traffic, 210.0, seed), 10.0,
+                collect_link_stats=True,
+            )
+            simulator.run()
+            values.append(simulator.mean_link_occupancy[0])
+        expected = load * (1 - erlang_b(load, capacity))
+        assert np.mean(values) == pytest.approx(expected, rel=0.05)
+
+    def test_disabled_by_default(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 50.0)
+        simulator = LossNetworkSimulator(
+            quad_network,
+            SinglePathRouting(quad_network, quad_table),
+            generate_trace(traffic, 20.0, 0),
+            5.0,
+        )
+        simulator.run()
+        assert simulator.mean_link_occupancy is None
+
+    def test_occupancy_bounded_by_capacity(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 120.0)
+        simulator = LossNetworkSimulator(
+            quad_network,
+            UncontrolledAlternateRouting(quad_network, quad_table),
+            generate_trace(traffic, 30.0, 1),
+            5.0,
+            collect_link_stats=True,
+        )
+        simulator.run()
+        assert (simulator.mean_link_occupancy <= 100.0).all()
+        assert (simulator.mean_link_occupancy >= 0.0).all()
+
+    def test_idle_network_zero_occupancy(self, quad_network, quad_table):
+        traffic = TrafficMatrix(np.zeros((4, 4)))
+        simulator = LossNetworkSimulator(
+            quad_network,
+            SinglePathRouting(quad_network, quad_table),
+            generate_trace(uniform_traffic(4, 0.001), 20.0, 0),
+            5.0,
+            collect_link_stats=True,
+        )
+        simulator.run()
+        assert simulator.mean_link_occupancy.max() < 1.0
+
+
+class TestWarmStart:
+    def test_validation(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 10.0)
+        trace = generate_trace(traffic, 20.0, 0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        with pytest.raises(ValueError):
+            LossNetworkSimulator(
+                quad_network, policy, trace, 5.0, initial_occupancy=np.array([1, 2])
+            )
+        with pytest.raises(ValueError):
+            LossNetworkSimulator(
+                quad_network, policy, trace, 5.0,
+                initial_occupancy=np.full(quad_network.num_links, 101),
+            )
+
+    def test_stationary_start_removes_idle_bias(self):
+        # Warm-starting each link at its stationary mean occupancy makes a
+        # zero-warm-up measurement unbiased (idle starts run low).
+        capacity, load = 10, 8.0
+        net, table = single_link_network(capacity)
+        traffic = TrafficMatrix({(0, 1): load}, num_nodes=2)
+        policy = SinglePathRouting(net, table)
+        occ0 = np.array([round(load * (1 - erlang_b(load, capacity)))] * net.num_links)
+        idle, warm = [], []
+        for seed in range(8):
+            trace = generate_trace(traffic, 40.0, seed)
+            idle.append(
+                LossNetworkSimulator(net, policy, trace, 0.0).run().network_blocking
+            )
+            warm.append(
+                LossNetworkSimulator(
+                    net, policy, trace, 0.0, initial_occupancy=occ0
+                ).run().network_blocking
+            )
+        theory = erlang_b(load, capacity)
+        assert abs(np.mean(warm) - theory) < abs(np.mean(idle) - theory)
+
+    def test_prefill_calls_eventually_depart(self, quad_network, quad_table):
+        # Warm-start circuits drain: with no offered traffic after the
+        # prefill, a late probe call sails through.
+        traffic = TrafficMatrix({(0, 1): 0.01}, num_nodes=4)
+        trace = generate_trace(traffic, 200.0, 3)
+        policy = SinglePathRouting(quad_network, quad_table)
+        full = quad_network.capacities()
+        sim = LossNetworkSimulator(
+            quad_network, policy, trace, warmup=50.0, initial_occupancy=full
+        )
+        result = sim.run()
+        # Holding times are exp(1): after 50 units every prefill call is gone.
+        assert result.network_blocking == 0.0
+
+    def test_deterministic_given_seed(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 90.0)
+        occ0 = np.full(quad_network.num_links, 50, dtype=np.int64)
+        policy = SinglePathRouting(quad_network, quad_table)
+        results = []
+        for __ in range(2):
+            trace = generate_trace(traffic, 20.0, 4)
+            sim = LossNetworkSimulator(
+                quad_network, policy, trace, 5.0, initial_occupancy=occ0
+            )
+            results.append(sim.run())
+        assert np.array_equal(results[0].blocked, results[1].blocked)

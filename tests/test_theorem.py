@@ -1,0 +1,130 @@
+"""Numeric verification of Theorem 1, including hypothesis property tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protection import displacement_bound
+from repro.core.theorem import (
+    displacement_profile,
+    exact_displacement,
+    verify_theorem1,
+)
+
+
+class TestExactDisplacement:
+    def test_protected_state_displaces_nothing(self):
+        # An alternate call arriving in a protected state is rejected, so its
+        # "acceptance displacement" is zero by convention.
+        assert exact_displacement(5.0, 10, 3, [1.0] * 10, state=8) == 0.0
+        assert exact_displacement(5.0, 10, 3, [1.0] * 10, state=7) == 0.0
+
+    def test_acceptable_state_displaces_positively(self):
+        value = exact_displacement(5.0, 10, 3, [1.0] * 10, state=4)
+        assert value > 0.0
+
+    def test_zero_primary_rate_displaces_nothing(self):
+        assert exact_displacement(0.0, 10, 0, [3.0] * 10, state=2) == 0.0
+
+    def test_displacement_grows_with_state(self):
+        # Higher occupancy at acceptance -> sooner and likelier blocking.
+        profile = displacement_profile(8.0, 10, 0, [0.5] * 10)
+        assert (np.diff(profile) > 0).all()
+
+    def test_profile_length(self):
+        assert displacement_profile(5.0, 10, 4, [1.0] * 10).shape == (6,)
+        assert displacement_profile(5.0, 10, 10, [1.0] * 10).shape == (0,)
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            exact_displacement(1.0, 5, 0, [1.0], state=6)
+
+
+class TestVerifyTheorem1:
+    def test_fully_protected_link_trivially_holds(self):
+        check = verify_theorem1(150.0, 100, 100, [50.0] * 100)
+        assert check.worst_displacement == 0.0
+        assert check.holds
+
+    def test_moderate_scenario_holds_with_slack(self):
+        check = verify_theorem1(70.0, 100, 7, [10.0] * 100)
+        assert check.holds
+        assert check.slack > 0.0
+
+    def test_nu_above_demand_rejected(self):
+        with pytest.raises(ValueError):
+            verify_theorem1(10.0, 20, 2, [1.0] * 20, primary_rate=11.0)
+
+    def test_nu_defaults_to_demand(self):
+        check = verify_theorem1(30.0, 40, 5, [2.0] * 40)
+        assert check.primary_rate == 30.0
+
+    def test_bound_field_matches_protection_module(self):
+        check = verify_theorem1(60.0, 80, 6, [1.0] * 80)
+        assert check.bound == pytest.approx(displacement_bound(60.0, 80, 6))
+
+    def test_adversarial_increasing_overflow_breaks_equation3_heuristic(self):
+        # Documented reproduction note: the Equation-3 quantity can exceed the
+        # bound when the overflow rates *increase* steeply with link state —
+        # the proof's Equation-10 step needs generalized blocking to be
+        # non-increasing in capacity, which such profiles violate.  Physical
+        # overflow traffic does not behave this way (see module docstring).
+        capacity = 14
+        overflow = np.zeros(capacity)
+        overflow[8:] = 60.0  # overflow floods in only when the link is busy
+        check = verify_theorem1(7.0, capacity, 0, overflow, primary_rate=2.4)
+        assert not check.holds
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=30),
+    protection_fraction=st.floats(min_value=0.0, max_value=1.0),
+    load_factor=st.floats(min_value=0.05, max_value=2.0),
+    nu_fraction=st.floats(min_value=0.2, max_value=1.0),
+    overflow_scale=st.floats(min_value=0.0, max_value=3.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_theorem1_holds_for_nonincreasing_overflow(
+    capacity, protection_fraction, load_factor, nu_fraction, overflow_scale, seed
+):
+    """Property: the bound holds for any non-increasing overflow profile."""
+    protection = int(round(protection_fraction * capacity))
+    demand = load_factor * capacity
+    nu = nu_fraction * demand
+    rng = np.random.default_rng(seed)
+    overflow = np.sort(rng.uniform(0.0, overflow_scale * capacity, size=capacity))[::-1]
+    check = verify_theorem1(demand, capacity, protection, overflow.copy(), primary_rate=nu)
+    assert check.holds
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=40),
+    load_factor=st.floats(min_value=0.05, max_value=2.0),
+    overflow=st.floats(min_value=0.0, max_value=100.0),
+    protection_fraction=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_theorem1_holds_for_constant_overflow(
+    capacity, load_factor, overflow, protection_fraction
+):
+    """Property: the bound holds for constant overflow rates (classical case)."""
+    protection = int(round(protection_fraction * capacity))
+    demand = load_factor * capacity
+    check = verify_theorem1(demand, capacity, protection, [overflow] * capacity)
+    assert check.holds
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=30),
+    load_factor=st.floats(min_value=0.1, max_value=1.5),
+)
+def test_bound_decreases_with_protection(capacity, load_factor):
+    """Property: more protection never loosens the Theorem-1 bound."""
+    demand = load_factor * capacity
+    bounds = [displacement_bound(demand, capacity, r) for r in range(capacity + 1)]
+    assert all(b2 <= b1 + 1e-12 for b1, b2 in zip(bounds, bounds[1:]))

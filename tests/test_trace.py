@@ -1,0 +1,84 @@
+"""Tests for arrival-trace generation and the substream helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import substream
+from repro.sim.trace import generate_trace
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestSubstream:
+    def test_deterministic(self):
+        a = substream(7, "arrivals").random(5)
+        b = substream(7, "arrivals").random(5)
+        assert (a == b).all()
+
+    def test_distinct_keys_give_distinct_streams(self):
+        a = substream(7, "arrivals").random(5)
+        b = substream(7, "holding").random(5)
+        assert not (a == b).all()
+
+    def test_int_keys_supported(self):
+        a = substream(7, 3).random(3)
+        b = substream(7, 3).random(3)
+        assert (a == b).all()
+
+    def test_bad_key_type_rejected(self):
+        with pytest.raises(TypeError):
+            substream(1, 2.5)  # type: ignore[arg-type]
+
+
+class TestGenerateTrace:
+    @pytest.fixture()
+    def traffic(self):
+        return TrafficMatrix({(0, 1): 30.0, (1, 0): 10.0})
+
+    def test_deterministic_per_seed(self, traffic):
+        a = generate_trace(traffic, 50.0, seed=3)
+        b = generate_trace(traffic, 50.0, seed=3)
+        assert np.array_equal(a.times, b.times)
+        assert np.array_equal(a.od_index, b.od_index)
+        assert np.array_equal(a.holding_times, b.holding_times)
+
+    def test_different_seeds_differ(self, traffic):
+        a = generate_trace(traffic, 50.0, seed=3)
+        b = generate_trace(traffic, 50.0, seed=4)
+        assert a.num_calls != b.num_calls or not np.array_equal(a.times, b.times)
+
+    def test_times_sorted_within_duration(self, traffic):
+        trace = generate_trace(traffic, 25.0, seed=0)
+        assert (np.diff(trace.times) >= 0).all()
+        assert trace.times[0] >= 0.0
+        assert trace.times[-1] <= 25.0
+
+    def test_total_rate_statistics(self, traffic):
+        # 40 Erlangs over 100 time units: ~4000 calls, sd ~63.
+        trace = generate_trace(traffic, 100.0, seed=1)
+        assert abs(trace.num_calls - 4000) < 4 * 63
+
+    def test_od_mix_statistics(self, traffic):
+        trace = generate_trace(traffic, 100.0, seed=2)
+        share = trace.calls_for_pair((0, 1)) / trace.num_calls
+        assert share == pytest.approx(0.75, abs=0.03)
+        assert trace.calls_for_pair((5, 5)) == 0
+
+    def test_holding_times_unit_mean(self, traffic):
+        trace = generate_trace(traffic, 200.0, seed=5)
+        assert trace.holding_times.mean() == pytest.approx(1.0, abs=0.05)
+        assert (trace.holding_times > 0).all()
+
+    def test_uniforms_in_unit_interval(self, traffic):
+        trace = generate_trace(traffic, 20.0, seed=0)
+        assert (trace.uniforms >= 0).all()
+        assert (trace.uniforms < 1).all()
+
+    def test_empty_traffic(self):
+        trace = generate_trace(TrafficMatrix(np.zeros((3, 3))), 10.0, seed=0)
+        assert trace.num_calls == 0
+
+    def test_nonpositive_duration_rejected(self, traffic):
+        with pytest.raises(ValueError):
+            generate_trace(traffic, 0.0, seed=0)

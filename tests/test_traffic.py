@@ -1,0 +1,173 @@
+"""Tests for traffic matrices, demand computation and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import fully_connected, line
+from repro.topology.paths import build_path_table
+from repro.traffic.demand import (
+    bifurcated_link_loads,
+    loads_by_endpoints,
+    primary_link_loads,
+)
+from repro.traffic.generators import (
+    gravity_traffic,
+    hotspot_traffic,
+    random_traffic,
+    uniform_traffic,
+)
+from repro.traffic.matrix import TrafficMatrix
+
+
+class TestTrafficMatrix:
+    def test_from_array(self):
+        matrix = TrafficMatrix(np.array([[0.0, 2.0], [3.0, 0.0]]))
+        assert matrix.demand(0, 1) == 2.0
+        assert matrix[(1, 0)] == 3.0
+        assert matrix.total == 5.0
+
+    def test_from_mapping(self):
+        matrix = TrafficMatrix({(0, 1): 4.0, (2, 0): 1.5})
+        assert matrix.num_nodes == 3
+        assert matrix.demand(2, 0) == 1.5
+        assert matrix.demand(1, 2) == 0.0
+
+    def test_from_mapping_with_explicit_size(self):
+        matrix = TrafficMatrix({(0, 1): 1.0}, num_nodes=5)
+        assert matrix.num_nodes == 5
+
+    def test_empty_mapping_needs_size(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix({})
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.zeros((2, 3)))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.array([[0.0, -1.0], [0.0, 0.0]]))
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+
+    def test_scaling(self):
+        matrix = TrafficMatrix({(0, 1): 2.0})
+        doubled = matrix.scaled(2.0)
+        assert doubled.demand(0, 1) == 4.0
+        assert (3 * matrix).demand(0, 1) == 6.0
+        assert matrix.demand(0, 1) == 2.0  # original untouched
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficMatrix({(0, 1): 1.0}).scaled(-1.0)
+
+    def test_positive_pairs(self):
+        matrix = TrafficMatrix({(0, 1): 1.0, (1, 2): 0.0, (2, 1): 3.0})
+        pairs = dict(matrix.positive_pairs())
+        assert pairs == {(0, 1): 1.0, (2, 1): 3.0}
+
+    def test_as_array_is_copy(self):
+        matrix = TrafficMatrix({(0, 1): 1.0})
+        arr = matrix.as_array()
+        arr[0, 1] = 99.0
+        assert matrix.demand(0, 1) == 1.0
+
+    def test_rounding(self):
+        matrix = TrafficMatrix({(0, 1): 1.6})
+        assert matrix.rounded()[0, 1] == 2
+
+    def test_equality(self):
+        a = TrafficMatrix({(0, 1): 1.0})
+        b = TrafficMatrix({(0, 1): 1.0})
+        assert a == b
+        assert a != TrafficMatrix({(0, 1): 2.0})
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(TrafficMatrix({(0, 1): 1.0}))
+
+
+class TestPrimaryLinkLoads:
+    def test_equation_one_on_a_line(self):
+        net = line(3, 10)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 5.0, (0, 1): 2.0})
+        loads = primary_link_loads(net, table, traffic)
+        by_endpoints = loads_by_endpoints(net, loads)
+        assert by_endpoints[(0, 1)] == 7.0  # both demands traverse 0->1
+        assert by_endpoints[(1, 2)] == 5.0
+        assert by_endpoints[(1, 0)] == 0.0
+
+    def test_missing_primary_rejected(self):
+        net = line(3, 10)
+        net.fail_duplex_link(1, 2)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 2): 5.0})
+        with pytest.raises(ValueError):
+            primary_link_loads(net, table, traffic)
+
+    def test_bifurcated_loads(self):
+        net = fully_connected(3, 10)
+        traffic = TrafficMatrix({(0, 1): 8.0})
+        splits = {(0, 1): [((0, 1), 0.75), ((0, 2, 1), 0.25)]}
+        loads = loads_by_endpoints(net, bifurcated_link_loads(net, splits, traffic))
+        assert loads[(0, 1)] == pytest.approx(6.0)
+        assert loads[(0, 2)] == pytest.approx(2.0)
+        assert loads[(2, 1)] == pytest.approx(2.0)
+
+    def test_bifurcated_fractions_must_sum_to_one(self):
+        net = fully_connected(3, 10)
+        traffic = TrafficMatrix({(0, 1): 8.0})
+        with pytest.raises(ValueError):
+            bifurcated_link_loads(net, {(0, 1): [((0, 1), 0.5)]}, traffic)
+
+    def test_bifurcated_missing_split_rejected(self):
+        net = fully_connected(3, 10)
+        traffic = TrafficMatrix({(0, 1): 8.0})
+        with pytest.raises(ValueError):
+            bifurcated_link_loads(net, {}, traffic)
+
+    def test_loads_by_endpoints_shape_check(self):
+        net = fully_connected(3, 10)
+        with pytest.raises(ValueError):
+            loads_by_endpoints(net, np.zeros(5))
+
+
+class TestGenerators:
+    def test_uniform(self):
+        traffic = uniform_traffic(4, 3.0)
+        assert traffic.total == pytest.approx(12 * 3.0)
+        assert traffic.demand(0, 0) == 0.0
+
+    def test_gravity_total_and_proportionality(self):
+        traffic = gravity_traffic([1.0, 2.0, 3.0], total=60.0)
+        assert traffic.total == pytest.approx(60.0)
+        # T(1,2)/T(0,1) = (2*3)/(1*2) = 3.
+        assert traffic.demand(1, 2) / traffic.demand(0, 1) == pytest.approx(3.0)
+
+    def test_gravity_zero_weights(self):
+        traffic = gravity_traffic([0.0, 0.0], total=10.0)
+        assert traffic.total == 0.0
+
+    def test_hotspot(self):
+        traffic = hotspot_traffic(4, hotspot=2, background=1.0, surge=5.0)
+        assert traffic.demand(0, 2) == 6.0
+        assert traffic.demand(2, 3) == 6.0
+        assert traffic.demand(0, 1) == 1.0
+
+    def test_hotspot_bad_index(self):
+        with pytest.raises(ValueError):
+            hotspot_traffic(3, hotspot=3, background=1.0, surge=1.0)
+
+    def test_random_deterministic(self):
+        a = random_traffic(5, mean=2.0, seed=1)
+        b = random_traffic(5, mean=2.0, seed=1)
+        assert a == b
+        assert a != random_traffic(5, mean=2.0, seed=2)
+
+    def test_random_zero_mean(self):
+        assert random_traffic(3, mean=0.0).total == 0.0
