@@ -12,6 +12,7 @@ user-supplied networks::
     repro-routing quadrangle --seeds 10      # figures 3/4 sweep
     repro-routing nsfnet --hops 6            # figures 6/7 sweep
     repro-routing census                     # alternate-path census by H
+    repro-routing dynamic-failures           # mid-run link failure + recovery
     repro-routing bistability                # mean-field fixed points
     repro-routing theorem1                   # numeric bound verification
     repro-routing evaluate --network my.json --traffic demand.json
@@ -162,6 +163,37 @@ def _cmd_bistability(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dynamic_failures(args: argparse.Namespace) -> int:
+    from .experiments.robustness import dynamic_failure_comparison
+
+    try:
+        reports = dynamic_failure_comparison(
+            config=_config(args),
+            load_scale=args.load_scale,
+            duplex=tuple(args.link),
+            reconvergence_delay=args.reconvergence,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else str(exc)
+        raise SystemExit(f"dynamic-failures: {message}")
+    print(
+        f"Dynamic failure: NSFNet x{args.load_scale:g}, link "
+        f"{args.link[0]}<->{args.link[1]} fails mid-run, reconvergence "
+        f"delay {args.reconvergence:g}"
+    )
+    print(
+        format_table(
+            ["policy", "blocking", "dropped", "availability", "t-recover"],
+            [
+                [name, r.blocking.mean, r.drop_rate.mean, r.availability.mean,
+                 r.time_to_recover.mean]
+                for name, r in reports.items()
+            ],
+        )
+    )
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.registry import run_experiment
 
@@ -285,6 +317,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--loads", type=float, nargs="+", default=[90.0, 96.0, 100.0, 104.0, 108.0]
     )
     bist.set_defaults(func=_cmd_bistability)
+
+    dynfail = sub.add_parser(
+        "dynamic-failures", help="mid-run link failure, drops and recovery"
+    )
+    dynfail.add_argument("--seeds", type=int, default=10)
+    dynfail.add_argument("--duration", type=float, default=100.0)
+    dynfail.add_argument("--load-scale", type=float, default=1.2)
+    dynfail.add_argument(
+        "--link", type=int, nargs=2, default=[2, 3], metavar=("A", "B"),
+        help="duplex link to fail (node pair)",
+    )
+    dynfail.add_argument(
+        "--reconvergence", type=float, default=2.0,
+        help="delay before policies rebuild after a topology change",
+    )
+    dynfail.set_defaults(func=_cmd_dynamic_failures)
 
     exp = sub.add_parser("experiment", help="regenerate one registered experiment")
     exp.add_argument("id", help="experiment id from DESIGN.md (e.g. FIG3, TAB1)")

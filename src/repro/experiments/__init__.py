@@ -17,9 +17,12 @@ from .robustness import forecast_error_sweep, perturbed_traffic
 from .runner import (
     PAPER_CONFIG,
     ReplicationConfig,
+    ReplicationOutcome,
+    SeedStatus,
     SweepPoint,
     compare_policies,
     run_replications,
+    run_replications_detailed,
 )
 from .tables import Table1Row, regenerate_table1, table1_agreement
 
@@ -29,6 +32,9 @@ __all__ = [
     "SweepPoint",
     "compare_policies",
     "run_replications",
+    "run_replications_detailed",
+    "ReplicationOutcome",
+    "SeedStatus",
     "figure2_protection_levels",
     "quadrangle_sweep",
     "nsfnet_sweep",

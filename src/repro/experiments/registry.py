@@ -16,7 +16,7 @@ from .figures import figure2_protection_levels, nsfnet_sweep, quadrangle_sweep
 from .generalization import general_mesh_comparison
 from .optimal_r import empirical_optimal_reservation
 from .prose import fairness_comparison, link_failure_comparison, minloss_comparison
-from .robustness import forecast_error_sweep
+from .robustness import dynamic_failure_comparison, forecast_error_sweep
 from .report import format_sweep, format_table, format_table1
 from .runner import PAPER_CONFIG, ReplicationConfig
 from .tables import regenerate_table1, table1_agreement
@@ -216,6 +216,21 @@ def _robustness(config: ReplicationConfig) -> str:
     )
 
 
+def _dynamic_failures(config: ReplicationConfig) -> str:
+    reports = dynamic_failure_comparison(config=config)
+    rows = [
+        [name, r.blocking.mean, r.drop_rate.mean, r.availability.mean,
+         r.time_to_recover.mean]
+        for name, r in reports.items()
+    ]
+    return (
+        "Dynamic failure: NSFNet load 12, link 2<->3 fails mid-run and recovers\n"
+        + format_table(
+            ["policy", "blocking", "dropped", "availability", "t-recover"], rows
+        )
+    )
+
+
 def _general_mesh(config: ReplicationConfig) -> str:
     outcome = general_mesh_comparison(config)
     rows = [
@@ -245,6 +260,8 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "bench_ott_krishnan.py", _ott_krishnan),
         Experiment("EXP-FAIL", "link failures preserve the ordering",
                    "bench_link_failures.py", _failures),
+        Experiment("EXP-DYNFAIL", "mid-run link failure, drop and recovery",
+                   "bench_dynamic_failures.py", _dynamic_failures),
         Experiment("EXP-FAIR", "per-O-D blocking skew",
                    "bench_fairness_skew.py", _fairness),
         Experiment("EXP-MINLOSS", "min-link-loss primary paths",

@@ -6,13 +6,24 @@ per traffic matrix, with every algorithm replaying identical arrivals and
 holding times.  :class:`ReplicationConfig` captures those knobs (defaults
 are the paper's); the helpers run one policy or a labelled set of policies
 over the shared traces and aggregate network blocking across seeds.
+
+The parallel path is hardened against misbehaving workers: each seed's
+future gets a bounded wait (``seed_timeout``), timed-out or crashed seeds
+are retried up to ``max_seed_retries`` times (recycling the pool after a
+timeout, since the hung worker still occupies its slot), and if the pool
+itself dies (``BrokenProcessPool`` — e.g. a worker was OOM-killed) the
+remaining seeds finish serially in-process.  Every seed's fate is recorded
+in a :class:`SeedStatus`, and :class:`ReplicationOutcome` carries the full
+per-seed report next to the aggregate.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..routing.base import RoutingPolicy
 from ..sim.metrics import SimulationResult, SweepStatistic, aggregate
@@ -21,7 +32,15 @@ from ..sim.trace import ArrivalTrace, generate_trace
 from ..topology.graph import Network
 from ..traffic.matrix import TrafficMatrix
 
-__all__ = ["ReplicationConfig", "PAPER_CONFIG", "run_replications", "compare_policies"]
+__all__ = [
+    "ReplicationConfig",
+    "PAPER_CONFIG",
+    "SeedStatus",
+    "ReplicationOutcome",
+    "run_replications",
+    "run_replications_detailed",
+    "compare_policies",
+]
 
 
 def _replication_worker(payload) -> SimulationResult:
@@ -57,6 +76,211 @@ class ReplicationConfig:
 PAPER_CONFIG = ReplicationConfig()
 
 
+@dataclass
+class SeedStatus:
+    """What happened to one seed across its attempts.
+
+    ``completed`` is True once a result was obtained (possibly after
+    retries, possibly via the serial fallback).  ``errors`` records one
+    message per failed attempt — ``"timeout after Ns"`` for bounded-wait
+    expiries, the exception text otherwise.
+    """
+
+    seed: int
+    completed: bool = False
+    attempts: int = 0
+    timeouts: int = 0
+    fallback: bool = False
+    errors: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        if self.completed:
+            how = "serial fallback" if self.fallback else "ok"
+            suffix = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+            return f"seed {self.seed}: {how}{suffix}"
+        detail = self.errors[-1] if self.errors else "unknown error"
+        return f"seed {self.seed}: FAILED after {self.attempts} attempts ({detail})"
+
+
+@dataclass
+class ReplicationOutcome:
+    """Aggregate plus the per-seed status report of one replication sweep."""
+
+    stat: SweepStatistic
+    results: list[SimulationResult]
+    statuses: list[SeedStatus]
+    pool_broken: bool = False
+
+    @property
+    def failed_seeds(self) -> tuple[int, ...]:
+        return tuple(s.seed for s in self.statuses if not s.completed)
+
+    @property
+    def all_completed(self) -> bool:
+        return not self.failed_seeds
+
+    def describe(self) -> str:
+        lines = [s.describe() for s in self.statuses]
+        if self.pool_broken:
+            lines.append("worker pool died; remaining seeds ran serially")
+        return "\n".join(lines)
+
+
+def _run_payloads_serial(
+    payloads: Sequence,
+    worker: Callable,
+    statuses: dict[int, SeedStatus],
+    results: dict[int, SimulationResult],
+    indices: Sequence[int],
+    max_seed_retries: int,
+    fallback: bool,
+) -> None:
+    """Run the given payload indices in-process, with bounded retries."""
+    for index in indices:
+        status = statuses[index]
+        while not status.completed:
+            status.attempts += 1
+            try:
+                results[index] = worker(payloads[index])
+            except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
+                status.errors += (f"{type(exc).__name__}: {exc}",)
+                if status.attempts > max_seed_retries:
+                    break
+            else:
+                status.completed = True
+                status.fallback = fallback
+
+
+def _run_payloads_parallel(
+    payloads: Sequence,
+    worker: Callable,
+    seeds: Sequence[int],
+    seed_timeout: float | None,
+    max_seed_retries: int,
+    max_workers: int | None,
+) -> tuple[dict[int, SimulationResult], dict[int, SeedStatus], bool]:
+    """Fan payloads over a process pool with timeouts, retries and fallback."""
+    statuses = {i: SeedStatus(seed=seeds[i]) for i in range(len(payloads))}
+    results: dict[int, SimulationResult] = {}
+    remaining = list(range(len(payloads)))
+    pool_broken = False
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    try:
+        while remaining:
+            futures = {index: pool.submit(worker, payloads[index]) for index in remaining}
+            next_round: list[int] = []
+            recycle = False
+            for index, future in futures.items():
+                status = statuses[index]
+                status.attempts += 1
+                try:
+                    results[index] = future.result(timeout=seed_timeout)
+                    status.completed = True
+                except FuturesTimeoutError:
+                    # The worker is hung (or just slow): abandon the future —
+                    # its process still occupies a slot, so the pool is
+                    # recycled before any retry round.
+                    future.cancel()
+                    status.timeouts += 1
+                    status.errors += (f"timeout after {seed_timeout:g}s",)
+                    recycle = True
+                    if status.attempts <= max_seed_retries:
+                        next_round.append(index)
+                except BrokenProcessPool:
+                    pool_broken = True
+                    break
+                except Exception as exc:  # noqa: BLE001 - retry, then report
+                    status.errors += (f"{type(exc).__name__}: {exc}",)
+                    if status.attempts <= max_seed_retries:
+                        next_round.append(index)
+            if pool_broken:
+                # Salvage whatever already finished, then run the rest
+                # in-process: a broken pool degrades to serial, not to a
+                # crashed sweep.
+                for index, future in futures.items():
+                    if index in results or not future.done():
+                        continue
+                    try:
+                        results[index] = future.result(timeout=0)
+                        statuses[index].completed = True
+                    except Exception:  # noqa: BLE001
+                        pass
+                unfinished = [i for i in futures if not statuses[i].completed]
+                _run_payloads_serial(
+                    payloads, worker, statuses, results,
+                    unfinished, max_seed_retries, fallback=True,
+                )
+                break
+            if recycle:
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=max_workers)
+            remaining = next_round
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return results, statuses, pool_broken
+
+
+def run_replications_detailed(
+    network: Network,
+    policy: RoutingPolicy,
+    traffic: TrafficMatrix,
+    config: ReplicationConfig = PAPER_CONFIG,
+    traces: Sequence[ArrivalTrace] | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    seed_timeout: float | None = None,
+    max_seed_retries: int = 1,
+    worker: Callable = _replication_worker,
+) -> ReplicationOutcome:
+    """Run one policy over all seeds; returns the full per-seed outcome.
+
+    ``parallel=True`` fans the seeds over a process pool — results are
+    bit-identical to the serial path (each seed is fully self-contained).
+    ``seed_timeout`` bounds the wait on each seed's future; a timed-out or
+    crashed seed is retried up to ``max_seed_retries`` times (the pool is
+    recycled after a timeout, since the hung worker still holds its slot;
+    the abandoned process is not killed, merely orphaned).  If the pool
+    itself breaks, the unfinished seeds run serially in-process.  ``worker``
+    is injectable for testing the failure paths; it must be a picklable
+    callable taking one payload tuple.
+
+    Seeds that exhaust their retries are excluded from the aggregate and
+    reported in the outcome's statuses; the sweep still completes unless
+    *every* seed failed (then ``RuntimeError``).
+    """
+    if parallel and traces is None:
+        payloads = [
+            (network, policy, traffic, config.duration, config.warmup, seed)
+            for seed in config.seeds
+        ]
+        results_map, statuses_map, pool_broken = _run_payloads_parallel(
+            payloads, worker, config.seeds, seed_timeout, max_seed_retries, max_workers
+        )
+    else:
+        if traces is None:
+            traces = [
+                generate_trace(traffic, config.duration, seed) for seed in config.seeds
+            ]
+        payloads = list(traces)
+        seeds = [trace.seed for trace in traces]
+        statuses_map = {i: SeedStatus(seed=seeds[i]) for i in range(len(payloads))}
+        results_map = {}
+        _run_payloads_serial(
+            payloads,
+            lambda trace: simulate(network, policy, trace, config.warmup),
+            statuses_map, results_map,
+            range(len(payloads)), max_seed_retries, fallback=False,
+        )
+        pool_broken = False
+    statuses = [statuses_map[i] for i in sorted(statuses_map)]
+    results = [results_map[i] for i in sorted(results_map)]
+    if not results:
+        report = "; ".join(s.describe() for s in statuses)
+        raise RuntimeError(f"every replication seed failed: {report}")
+    stat = aggregate([result.network_blocking for result in results])
+    return ReplicationOutcome(stat, results, statuses, pool_broken)
+
+
 def run_replications(
     network: Network,
     policy: RoutingPolicy,
@@ -65,30 +289,22 @@ def run_replications(
     traces: Sequence[ArrivalTrace] | None = None,
     parallel: bool = False,
     max_workers: int | None = None,
+    seed_timeout: float | None = None,
+    max_seed_retries: int = 1,
 ) -> tuple[SweepStatistic, list[SimulationResult]]:
     """Run one policy over all seeds; returns aggregate blocking + raw results.
 
     Pre-generated ``traces`` may be passed to share them across policies
     (``compare_policies`` does); otherwise they are generated per seed.
-    ``parallel=True`` fans the seeds out over a process pool — results are
-    bit-identical to the serial path (each seed is fully self-contained);
-    worth it for paper-fidelity sweeps, overkill for quick runs.
+    This is the historical interface; :func:`run_replications_detailed`
+    additionally returns the per-seed status report.
     """
-    if parallel and traces is None:
-        payloads = [
-            (network, policy, traffic, config.duration, config.warmup, seed)
-            for seed in config.seeds
-        ]
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            results = list(pool.map(_replication_worker, payloads))
-    else:
-        if traces is None:
-            traces = [
-                generate_trace(traffic, config.duration, seed) for seed in config.seeds
-            ]
-        results = [simulate(network, policy, trace, config.warmup) for trace in traces]
-    stat = aggregate([result.network_blocking for result in results])
-    return stat, results
+    outcome = run_replications_detailed(
+        network, policy, traffic, config,
+        traces=traces, parallel=parallel, max_workers=max_workers,
+        seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
+    )
+    return outcome.stat, outcome.results
 
 
 def compare_policies(
@@ -98,6 +314,8 @@ def compare_policies(
     config: ReplicationConfig = PAPER_CONFIG,
     parallel: bool = False,
     max_workers: int | None = None,
+    seed_timeout: float | None = None,
+    max_seed_retries: int = 1,
 ) -> dict[str, SweepStatistic]:
     """Run several policies on *identical* traces and aggregate each.
 
@@ -105,7 +323,8 @@ def compare_policies(
     between policies reflect routing decisions only, never sampling noise in
     the arrival processes.  ``parallel=True`` fans seeds over a process pool
     per policy; trace generation is deterministic per seed, so the common-
-    random-numbers discipline is preserved (workers rebuild the same traces).
+    random-numbers discipline is preserved (workers rebuild the same traces
+    — and a retried seed rebuilds the same trace again).
     """
     comparison: dict[str, SweepStatistic] = {}
     if parallel:
@@ -113,6 +332,7 @@ def compare_policies(
             stat, __ = run_replications(
                 network, policy, traffic, config,
                 parallel=True, max_workers=max_workers,
+                seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
             )
             comparison[label] = stat
         return comparison

@@ -2,7 +2,17 @@
 
 from .engine import EventQueue
 from .failures import FailedNetwork, FailureScenario, apply_failures
-from .metrics import SimulationResult, SweepStatistic, aggregate
+from .faultplane import (
+    FaultEvent,
+    FaultStats,
+    FaultTimeline,
+    FlappingLink,
+    MarkovLinkFaults,
+    ScheduledFailure,
+    build_fault_timeline,
+    single_failure_timeline,
+)
+from .metrics import BinnedSeries, SimulationResult, SweepStatistic, aggregate
 from .rng import substream
 from .signaling import (
     SignalingConfig,
@@ -18,6 +28,15 @@ __all__ = [
     "FailureScenario",
     "FailedNetwork",
     "apply_failures",
+    "FaultEvent",
+    "FaultStats",
+    "FaultTimeline",
+    "FlappingLink",
+    "MarkovLinkFaults",
+    "ScheduledFailure",
+    "build_fault_timeline",
+    "single_failure_timeline",
+    "BinnedSeries",
     "SimulationResult",
     "SweepStatistic",
     "aggregate",

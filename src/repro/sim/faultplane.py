@@ -1,0 +1,271 @@
+"""Deterministic fault processes: mid-run link failures and repairs.
+
+The paper studies *static* failures only (Section 4.2.2 removes links
+``2<->3`` and ``7<->9`` before the run).  This module generates *dynamic*
+fault timelines — per-duplex-link up/down events that the simulators consume
+mid-run — so the paper's graceful-degradation claim can be stress-tested
+under churn: links failing and recovering while calls are in flight and
+while the routing policy's tables are stale.
+
+Three fault processes are provided, all resolved into one merged
+:class:`FaultTimeline` of :class:`FaultEvent` objects:
+
+* :class:`ScheduledFailure` — fail at a known time, optionally repair later
+  (the deterministic "maintenance window" model, and the dynamic analogue of
+  the paper's static scenarios);
+* :class:`MarkovLinkFaults` — alternating exponential up/down times (the
+  classic Markov-modulated availability model); and
+* :class:`FlappingLink` — periodic short outages, the pathological
+  interface-flap pattern that stresses reconvergence logic hardest.
+
+Stochastic up/down times draw from :func:`repro.sim.rng.substream` keyed by
+the root seed and the link's endpoints, so (a) a timeline is exactly
+reproducible from its seed, and (b) adding a fault model on one link never
+perturbs the events generated for another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..topology.graph import Network
+from .rng import substream
+
+__all__ = [
+    "FaultEvent",
+    "FaultStats",
+    "FaultTimeline",
+    "ScheduledFailure",
+    "MarkovLinkFaults",
+    "FlappingLink",
+    "build_fault_timeline",
+    "single_failure_timeline",
+]
+
+
+@dataclass
+class FaultStats:
+    """Fault-plane counters accumulated over one simulation run.
+
+    ``events_applied`` counts timeline events consumed, ``calls_dropped``
+    the in-progress calls severed by link failures (warm-up included, unlike
+    the result's measured ``dropped`` counters), and ``reconvergences`` the
+    times at which the routing policy was re-derived against the changed
+    topology (empty when no ``rebuild_policy`` was supplied).
+    """
+
+    events_applied: int = 0
+    calls_dropped: int = 0
+    reconvergences: list[float] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One state change of a duplex link: at ``time`` it goes down or up."""
+
+    time: float
+    duplex: tuple[int, int]
+    up: bool
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault event time must be non-negative, got {self.time}")
+        a, b = self.duplex
+        if a == b:
+            raise ValueError(f"fault event needs two distinct endpoints, got {a}<->{b}")
+
+    def describe(self) -> str:
+        a, b = self.duplex
+        state = "up" if self.up else "down"
+        return f"t={self.time:g}: {a}<->{b} {state}"
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A time-ordered sequence of link up/down events.
+
+    Construct via :func:`build_fault_timeline` (validates against a network
+    and normalizes ordering) or directly from events for hand-written
+    scenarios.  Events are sorted by ``(time, endpoints, up)`` so equal-time
+    events fire in a deterministic order.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.time, e.duplex, e.up))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def resolve(self, network: Network) -> list[tuple[float, tuple[int, ...], bool]]:
+        """Resolve endpoint pairs to link indices against ``network``.
+
+        Returns ``(time, link_indices, up)`` triples (both directions of the
+        duplex link).  Raises ``KeyError`` naming the offending pair when an
+        event references a link the network does not have.
+        """
+        resolved = []
+        for event in self.events:
+            a, b = event.duplex
+            resolved.append((event.time, network.duplex_link_indices(a, b), event.up))
+        return resolved
+
+    def describe(self) -> str:
+        if not self.events:
+            return "fault timeline: empty"
+        return "fault timeline: " + "; ".join(e.describe() for e in self.events)
+
+
+@dataclass(frozen=True)
+class ScheduledFailure:
+    """A one-shot failure at ``fail_at``, optionally repaired at ``repair_at``."""
+
+    a: int
+    b: int
+    fail_at: float
+    repair_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fail_at < 0:
+            raise ValueError(f"fail_at must be non-negative, got {self.fail_at}")
+        if self.repair_at is not None and self.repair_at <= self.fail_at:
+            raise ValueError(
+                f"repair_at ({self.repair_at}) must come after fail_at ({self.fail_at})"
+            )
+
+    def events(self, duration: float, seed: int) -> list[FaultEvent]:
+        duplex = (self.a, self.b)
+        out = []
+        if self.fail_at < duration:
+            out.append(FaultEvent(self.fail_at, duplex, up=False))
+            if self.repair_at is not None and self.repair_at < duration:
+                out.append(FaultEvent(self.repair_at, duplex, up=True))
+        return out
+
+
+@dataclass(frozen=True)
+class MarkovLinkFaults:
+    """Alternating exponential up/down times (Markov-modulated availability).
+
+    The link starts ``initial_up`` at t=0, stays up for exp(``mean_uptime``)
+    and down for exp(``mean_downtime``) sojourns.  Long-run availability is
+    ``mean_uptime / (mean_uptime + mean_downtime)``.
+    """
+
+    a: int
+    b: int
+    mean_uptime: float
+    mean_downtime: float
+    initial_up: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mean_uptime <= 0 or self.mean_downtime <= 0:
+            raise ValueError("mean_uptime and mean_downtime must be positive")
+
+    def events(self, duration: float, seed: int) -> list[FaultEvent]:
+        rng = substream(seed, "faultplane", self.a, self.b)
+        duplex = (self.a, self.b)
+        out = []
+        up = self.initial_up
+        time = 0.0
+        if not up:
+            out.append(FaultEvent(0.0, duplex, up=False))
+        while True:
+            sojourn = rng.exponential(self.mean_uptime if up else self.mean_downtime)
+            time += float(sojourn)
+            if time >= duration:
+                return out
+            up = not up
+            out.append(FaultEvent(time, duplex, up=up))
+
+
+@dataclass(frozen=True)
+class FlappingLink:
+    """Periodic short outages: down every ``period``, up ``outage`` later.
+
+    Models the interface-flap pathology: ``cycles`` consecutive down/up
+    pairs starting at ``start``.  The outage must be shorter than the
+    period so the link always recovers before it next fails.
+    """
+
+    a: int
+    b: int
+    start: float
+    period: float
+    cycles: int
+    outage: float | None = None  # defaults to period / 2
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self.cycles < 1:
+            raise ValueError(f"cycles must be at least 1, got {self.cycles}")
+        outage = self.outage if self.outage is not None else self.period / 2.0
+        if not 0 < outage < self.period:
+            raise ValueError(
+                f"outage ({outage}) must lie strictly inside (0, period={self.period})"
+            )
+
+    def events(self, duration: float, seed: int) -> list[FaultEvent]:
+        duplex = (self.a, self.b)
+        outage = self.outage if self.outage is not None else self.period / 2.0
+        out = []
+        for cycle in range(self.cycles):
+            down = self.start + cycle * self.period
+            if down >= duration:
+                break
+            out.append(FaultEvent(down, duplex, up=False))
+            repair = down + outage
+            if repair < duration:
+                out.append(FaultEvent(repair, duplex, up=True))
+        return out
+
+
+def build_fault_timeline(
+    network: Network,
+    specs: Sequence[ScheduledFailure | MarkovLinkFaults | FlappingLink],
+    duration: float,
+    seed: int = 0,
+) -> FaultTimeline:
+    """Generate and merge the fault events of several per-link fault models.
+
+    Every spec's duplex link must exist in ``network`` (both directions) and
+    no two specs may target the same physical link — overlapping processes
+    would generate contradictory up/down sequences.  Events at or beyond
+    ``duration`` are discarded (the run ends before they could matter).
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    seen: set[tuple[int, int]] = set()
+    events: list[FaultEvent] = []
+    for spec in specs:
+        pair = (spec.a, spec.b)
+        normalized = (min(pair), max(pair))
+        network.duplex_link_indices(*pair)  # KeyError names an unknown pair
+        if normalized in seen:
+            raise ValueError(
+                f"duplicate fault spec for duplex link {pair[0]}<->{pair[1]}"
+            )
+        seen.add(normalized)
+        events.extend(spec.events(duration, seed))
+    return FaultTimeline(tuple(events))
+
+
+def single_failure_timeline(
+    a: int, b: int, fail_at: float, repair_at: float | None = None
+) -> FaultTimeline:
+    """The simplest dynamic scenario: one link fails once, optionally repairs."""
+    events = [FaultEvent(fail_at, (a, b), up=False)]
+    if repair_at is not None:
+        events.append(FaultEvent(repair_at, (a, b), up=True))
+    return FaultTimeline(tuple(events))

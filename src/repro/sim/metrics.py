@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SimulationResult", "SweepStatistic", "aggregate"]
+__all__ = ["SimulationResult", "SweepStatistic", "BinnedSeries", "aggregate"]
 
 
 @dataclass
@@ -26,6 +26,13 @@ class SimulationResult:
     (indexing matches the trace's ``od_pairs``).  ``primary_carried`` and
     ``alternate_carried`` split the accepted calls by the tier that carried
     them.
+
+    Under dynamic faults a third outcome exists: a call *admitted* and later
+    *dropped* because a link on its path failed mid-holding-time.  Dropped
+    calls stay in the carried counters (they were admitted) but are charged
+    against :attr:`availability`; ``dropped[p]`` counts them per O-D pair,
+    restricted — like ``offered``/``blocked`` — to calls that arrived inside
+    the measured window.
     """
 
     od_pairs: tuple[tuple[int, int], ...]
@@ -39,6 +46,7 @@ class SimulationResult:
     class_names: tuple[str, ...] = ()
     class_offered: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
     class_blocked: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    dropped: np.ndarray | None = None
 
     @property
     def total_offered(self) -> int:
@@ -55,6 +63,34 @@ class SimulationResult:
         if offered == 0:
             return 0.0
         return self.total_blocked / offered
+
+    @property
+    def total_dropped(self) -> int:
+        """Calls admitted but severed by a mid-run link failure."""
+        if self.dropped is None:
+            return 0
+        return int(self.dropped.sum())
+
+    @property
+    def network_drop_rate(self) -> float:
+        """Fraction of measured calls dropped after admission."""
+        offered = self.total_offered
+        if offered == 0:
+            return 0.0
+        return self.total_dropped / offered
+
+    @property
+    def availability(self) -> float:
+        """Fraction of measured calls served to completion.
+
+        One minus the blocked *and* dropped fractions: blocking alone
+        understates user-visible loss under churn, since a dropped call
+        counted as carried still failed its user.
+        """
+        offered = self.total_offered
+        if offered == 0:
+            return 1.0
+        return 1.0 - (self.total_blocked + self.total_dropped) / offered
 
     @property
     def alternate_fraction(self) -> float:
@@ -81,6 +117,57 @@ class SimulationResult:
                     self.class_blocked[index] / self.class_offered[index]
                 )
         return result
+
+
+@dataclass(frozen=True)
+class BinnedSeries:
+    """Per-time-bin call outcomes over absolute simulation time.
+
+    Bin ``i`` covers ``[i * bin_width, (i + 1) * bin_width)`` and counts the
+    *measured* calls arriving in it (``offered``/``blocked``) plus the
+    measured calls severed in it (``dropped``, attributed to the bin of the
+    drop instant, not the arrival).  The dynamic-failure experiments use
+    this to locate the blocking transient around a failure and measure the
+    time to recover after repair.
+    """
+
+    bin_width: float
+    offered: np.ndarray
+    blocked: np.ndarray
+    dropped: np.ndarray
+
+    @property
+    def num_bins(self) -> int:
+        return int(self.offered.size)
+
+    def bin_start(self, index: int) -> float:
+        return index * self.bin_width
+
+    def loss_fraction(self) -> np.ndarray:
+        """Per-bin (blocked + dropped) / offered, zero where nothing offered."""
+        offered = self.offered.astype(float)
+        loss = (self.blocked + self.dropped).astype(float)
+        return np.divide(loss, offered, out=np.zeros_like(loss), where=offered > 0)
+
+    def time_to_recover(
+        self, repair_time: float, baseline: float, tolerance: float = 0.02
+    ) -> float:
+        """Time from ``repair_time`` until loss first returns near ``baseline``.
+
+        Scans the bins at or after the repair for the first whose loss
+        fraction is within ``tolerance`` of the pre-failure ``baseline``;
+        returns the end of that bin minus ``repair_time``.  Returns the
+        remaining horizon when the run never recovers.
+        """
+        first = int(np.floor(repair_time / self.bin_width))
+        loss = self.loss_fraction()
+        for index in range(first, self.num_bins):
+            if self.offered[index] == 0:
+                continue
+            if loss[index] <= baseline + tolerance:
+                end = (index + 1) * self.bin_width
+                return max(0.0, end - repair_time)
+        return self.num_bins * self.bin_width - repair_time
 
 
 @dataclass(frozen=True)

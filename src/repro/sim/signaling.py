@@ -25,23 +25,46 @@ distributed protocol over the event queue, with per-link propagation delay:
 * the origin starts the call when the CONFIRM arrives and, at the end of
   the holding time, sends a **TEARDOWN** forward that releases each link.
 
-With zero propagation delay the protocol collapses to the flow simulator's
-atomic decisions — the test suite asserts pathwise equivalence — and with
-positive delay it measures what the abstraction hides: set-up latency and
-race aborts.  (Per the paper's footnote 2, signaling bandwidth itself is
-assumed reserved and is not modelled.)
+On top of the paper's protocol this module models an *unreliable* signaling
+plane and the defenses a deployment needs against it:
+
+* every SETUP/CONFIRM/crankback/release transmission is lost independently
+  with ``message_loss_probability`` (TEARDOWN is assumed link-layer-reliable,
+  else completed calls would leak circuits forever);
+* the origin arms a **setup timeout** per attempt, retrying the route up to
+  ``max_retries`` times with exponential backoff before cranking to the
+  next route;
+* a **crankback budget** bounds the total reroute events (crankbacks, race
+  aborts, retry exhaustions) a single call may consume;
+* links start a **reservation hold-timer** per booking, releasing orphaned
+  partial bookings whose CONFIRM or release message was lost — so a lost
+  CONFIRM cannot leak circuits forever;
+* a fault timeline (:mod:`repro.sim.faultplane`) may fail links mid-run:
+  established calls crossing a failed link are severed (counted ``dropped``)
+  and the link admits nothing until repaired.  The policy is *not* rebuilt —
+  the signaling simulator studies the stale-policy regime.
+
+With zero propagation delay, zero loss and no timers the protocol collapses
+to the flow simulator's atomic decisions — the test suite asserts pathwise
+equivalence, including under mid-run link failures — and with positive delay
+or loss it measures what the abstraction hides: set-up latency, race aborts,
+retry storms and orphaned reservations.  (Per the paper's footnote 2,
+signaling bandwidth itself is assumed reserved and is not modelled.)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
 from ..routing.base import RouteChoice, RoutingPolicy
 from ..topology.graph import Network
 from .engine import EventQueue
+from .faultplane import FaultEvent, FaultTimeline
 from .metrics import SimulationResult
+from .rng import substream
 from .trace import ArrivalTrace
 
 __all__ = ["SignalingConfig", "SignalingStats", "SignalingSimulator", "simulate_signaling"]
@@ -49,29 +72,80 @@ __all__ = ["SignalingConfig", "SignalingStats", "SignalingSimulator", "simulate_
 
 @dataclass(frozen=True)
 class SignalingConfig:
-    """Timing model for the signaling plane.
+    """Timing and reliability model for the signaling plane.
 
     ``propagation_delay`` is the one-way per-hop delay for any signaling
     message, in call-holding-time units (the paper's unit of time).  A
     typical long-haul hop at ~10 ms against minutes-long calls is ~1e-4.
+
+    ``message_loss_probability`` drops each SETUP/CONFIRM/crankback/release
+    transmission independently.  Any positive loss requires a
+    ``setup_timeout`` (lost set-ups would otherwise strand calls silently)
+    and a ``hold_timer`` (lost CONFIRMs would otherwise leak circuits).
+    ``setup_timeout`` is the origin's wait before retrying an attempt; retry
+    ``k`` waits ``setup_timeout * backoff_factor**k``.  After
+    ``max_retries`` retries the origin cranks to the next route.
+    ``crankback_budget`` caps a call's total reroute events (``None`` =
+    unbounded, the paper's model).  ``hold_timer`` is how long a link holds
+    an unconfirmed booking before releasing it.
     """
 
     propagation_delay: float = 0.0
+    message_loss_probability: float = 0.0
+    setup_timeout: float | None = None
+    max_retries: int = 2
+    backoff_factor: float = 2.0
+    crankback_budget: int | None = None
+    hold_timer: float | None = None
 
     def __post_init__(self) -> None:
         if self.propagation_delay < 0:
             raise ValueError("propagation_delay must be non-negative")
+        if not 0.0 <= self.message_loss_probability < 1.0:
+            raise ValueError("message_loss_probability must lie in [0, 1)")
+        if self.setup_timeout is not None and self.setup_timeout <= 0:
+            raise ValueError("setup_timeout must be positive when set")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+        if self.crankback_budget is not None and self.crankback_budget < 0:
+            raise ValueError("crankback_budget must be non-negative when set")
+        if self.hold_timer is not None and self.hold_timer <= 0:
+            raise ValueError("hold_timer must be positive when set")
+        if self.message_loss_probability > 0 and self.setup_timeout is None:
+            raise ValueError(
+                "message loss requires a setup_timeout: a lost SETUP would "
+                "otherwise strand the call with no retry and no blocking count"
+            )
+        if self.message_loss_probability > 0 and self.hold_timer is None:
+            raise ValueError(
+                "message loss requires a hold_timer: a lost CONFIRM would "
+                "otherwise leak partial bookings forever"
+            )
 
 
 @dataclass
 class SignalingStats:
-    """Protocol-level counters accumulated over a run (measured window only)."""
+    """Protocol-level counters accumulated over a run.
+
+    ``setups_sent`` through ``budget_blocked`` count events of calls that
+    arrived inside the measured window; ``messages_lost``,
+    ``hold_expirations`` and ``dropped_calls`` are whole-run protocol
+    counters (warm-up included).
+    """
 
     setups_sent: int = 0
     crankbacks: int = 0
     race_aborts: int = 0
     established: int = 0
     setup_latency_sum: float = 0.0
+    setup_timeouts: int = 0
+    retries: int = 0
+    budget_blocked: int = 0
+    messages_lost: int = 0
+    hold_expirations: int = 0
+    dropped_calls: int = 0
 
     @property
     def mean_setup_latency(self) -> float:
@@ -90,6 +164,12 @@ class _PendingCall:
     choice: RouteChoice
     next_route: int = 0  # 0 = primary, k >= 1 = alternates[k - 1]
     measured: bool = False
+    serial: int = 0  # attempt generation; stale messages/timers check it
+    retries: int = 0  # timeout retries consumed on the current route
+    reroutes: int = 0  # crankbacks + race aborts + retry exhaustions
+    finished: bool = False  # established or definitively blocked
+    established_serial: int = -1
+    bookings: dict[int, list[int]] = field(default_factory=dict)
 
     def route(self) -> tuple[int, ...] | None:
         if self.next_route == 0:
@@ -109,7 +189,9 @@ class SignalingSimulator:
 
     Consumes the same :class:`ArrivalTrace` and threshold-discipline
     :class:`RoutingPolicy` as the flow simulator, so results are directly
-    comparable under common random numbers.
+    comparable under common random numbers.  ``faults`` replays a
+    :class:`~repro.sim.faultplane.FaultTimeline` mid-run (stale policy — no
+    reconvergence — matching the flow simulator without ``rebuild_policy``).
     """
 
     def __init__(
@@ -119,6 +201,7 @@ class SignalingSimulator:
         trace: ArrivalTrace,
         warmup: float = 10.0,
         config: SignalingConfig = SignalingConfig(),
+        faults: FaultTimeline | Sequence[FaultEvent] | None = None,
     ):
         if policy.discipline != "threshold":
             raise ValueError("signaling simulation supports threshold policies only")
@@ -133,6 +216,12 @@ class SignalingSimulator:
         self.trace = trace
         self.warmup = float(warmup)
         self.config = config
+        if faults is None:
+            self.faults: FaultTimeline | None = None
+        elif isinstance(faults, FaultTimeline):
+            self.faults = faults if faults else None
+        else:
+            self.faults = FaultTimeline(tuple(faults)) or None
         self.stats = SignalingStats()
 
     # The protocol below keeps one authoritative occupancy counter per link,
@@ -144,14 +233,24 @@ class SignalingSimulator:
     def run(self) -> SimulationResult:
         network = self.network
         trace = self.trace
+        config = self.config
+        raw_capacities = [int(link.capacity) for link in network.links]
         capacities = [int(c) for c in network.capacities()]
-        thresholds = [int(t) for t in self.policy.alt_thresholds]
+        base_thresholds = [int(t) for t in self.policy.alt_thresholds]
+        thresholds = list(base_thresholds)
         occupancy = [0] * network.num_links
-        delay = self.config.propagation_delay
+        delay = config.propagation_delay
+        loss_p = config.message_loss_probability
+        loss_rng = substream(trace.seed, "signaling", "loss") if loss_p > 0 else None
+        timeout = config.setup_timeout
+        budget = config.crankback_budget
+        hold_timer = config.hold_timer
+        dynamic = self.faults is not None
 
         num_pairs = len(trace.od_pairs)
         offered = [0] * num_pairs
         blocked = [0] * num_pairs
+        dropped = [0] * num_pairs
         primary_carried = 0
         alternate_carried = 0
         stats = self.stats
@@ -160,45 +259,132 @@ class SignalingSimulator:
         queue = EventQueue()
         policy = self.policy
 
+        # Established-call registry, for teardown and fault-induced drops.
+        active_calls: dict[int, tuple[tuple[int, ...], int, bool]] = {}
+        next_active_id = 0
+        link_down = [network.is_failed(i) for i in range(network.num_links)]
+
         def limit_for(call: _PendingCall, link: int) -> int:
             return capacities[link] if call.is_primary_attempt else thresholds[link]
 
+        def transmit(q: EventQueue, callback, payload, hops: int = 1) -> bool:
+            """Schedule a protocol message ``hops`` propagation hops away.
+
+            Returns False — dropping the event — with the compound per-hop
+            loss probability; the sender never learns (timeouts do).
+            """
+            if loss_rng is not None:
+                survive = (1.0 - loss_p) ** hops
+                if loss_rng.random() >= survive:
+                    stats.messages_lost += 1
+                    return False
+            q.schedule_in(hops * delay if delay else 0.0, callback, payload)
+            return True
+
+        def release_link(call: _PendingCall, serial: int, link: int) -> bool:
+            """Release one booking of attempt ``serial`` exactly once."""
+            links = call.bookings.get(serial)
+            if not links or link not in links:
+                return False
+            links.remove(link)
+            occupancy[link] -= 1
+            return True
+
+        def finish_blocked(call: _PendingCall) -> None:
+            if call.finished:
+                return
+            call.finished = True
+            call.serial += 1  # invalidate in-flight messages and timers
+            if call.measured:
+                blocked[call.pair_index] += 1
+
         def start_attempt(q: EventQueue, call: _PendingCall) -> None:
+            if call.finished:
+                return
+            if budget is not None and call.reroutes > budget:
+                if call.measured:
+                    stats.budget_blocked += 1
+                finish_blocked(call)
+                return
             route = call.route()
             if route is None:
-                if call.measured:
-                    blocked[call.pair_index] += 1
+                finish_blocked(call)
                 return
+            call.serial += 1
+            serial = call.serial
             if call.measured:
                 stats.setups_sent += 1
+            if timeout is not None:
+                wait = timeout * config.backoff_factor**call.retries
+                q.schedule_in(wait, on_timeout, (call, serial))
             # Forward pass: the set-up reaches hop k at now + k * delay and
-            # checks that hop's link.
-            advance_setup(q, (call, route, 0))
+            # checks that hop's link.  The first check happens at the origin
+            # itself — no transmission yet, so nothing to lose.
+            advance_setup(q, (call, route, 0, serial))
+
+        def on_timeout(q: EventQueue, payload) -> None:
+            call, serial = payload
+            if call.finished or call.serial != serial:
+                return  # the attempt concluded; stale timer
+            if call.measured:
+                stats.setup_timeouts += 1
+            if hold_timer is None:
+                # Idealized rollback: without per-link hold timers the
+                # expired attempt's partial bookings are released here so
+                # occupancy stays conserved in lossless configurations.
+                for link in list(call.bookings.get(serial, ())):
+                    release_link(call, serial, link)
+            if call.retries < config.max_retries:
+                call.retries += 1
+                if call.measured:
+                    stats.retries += 1
+                start_attempt(q, call)
+                return
+            call.retries = 0
+            call.next_route += 1
+            call.reroutes += 1
+            start_attempt(q, call)
 
         def advance_setup(q: EventQueue, payload) -> None:
-            call, route, hop = payload
+            call, route, hop, serial = payload
+            if call.serial != serial or call.finished:
+                return  # superseded by a timeout retry or a crankback
             if hop == len(route):
                 # Destination reached: CONFIRM retraces, booking backwards.
-                advance_confirm(q, (call, route, len(route) - 1))
+                advance_confirm(q, (call, route, len(route) - 1, serial))
                 return
             link = route[hop]
             if occupancy[link] + 1 > limit_for(call, link):
-                # Crankback: the failure notice needs hop+1 hops home... the
-                # origin simply moves on when it hears, after the round trip.
+                # Crankback: the failure notice needs hop+1 hops home; the
+                # origin moves on when it hears, after the round trip.
                 if call.measured:
                     stats.crankbacks += 1
                 call.next_route += 1
-                q.schedule_in((hop + 1) * delay if delay else 0.0, retry, call)
+                call.retries = 0
+                call.reroutes += 1
+                transmit(q, retry, (call, serial), hops=hop + 1)
                 return
-            q.schedule_in(delay, advance_setup, (call, route, hop + 1))
+            transmit(q, advance_setup, (call, route, hop + 1, serial))
 
-        def retry(q: EventQueue, call: _PendingCall) -> None:
+        def retry(q: EventQueue, payload) -> None:
+            call, serial = payload
+            if call.serial != serial or call.finished:
+                return  # a timeout already moved the call along
             start_attempt(q, call)
 
         def advance_confirm(q: EventQueue, payload) -> None:
-            call, route, hop = payload
+            call, route, hop, serial = payload
+            if call.serial != serial or call.finished:
+                return  # expired mid-flight; hold timers reap the bookings
             if hop < 0:
                 # Confirm reached the origin: the call is up.
+                call.finished = True
+                call.established_serial = serial
+                call.bookings.pop(serial, None)  # bookings became the circuit
+                nonlocal next_active_id
+                call_id = next_active_id
+                next_active_id += 1
+                active_calls[call_id] = (route, call.pair_index, call.measured)
                 if call.measured:
                     stats.established += 1
                     stats.setup_latency_sum += q.now - call.arrival_time
@@ -207,7 +393,7 @@ class SignalingSimulator:
                         primary_carried += 1
                     else:
                         alternate_carried += 1
-                q.schedule_in(call.holding_time, start_teardown, route)
+                q.schedule_in(call.holding_time, start_teardown, call_id)
                 return
             link = route[hop]
             if occupancy[link] + 1 > limit_for(call, link):
@@ -215,28 +401,81 @@ class SignalingSimulator:
                 if call.measured:
                     stats.race_aborts += 1
                 call.next_route += 1
-                release_and_retry(q, (call, route, hop + 1))
+                call.retries = 0
+                call.reroutes += 1
+                release_and_retry(q, (call, route, hop + 1, serial))
                 return
             occupancy[link] += 1
-            q.schedule_in(delay, advance_confirm, (call, route, hop - 1))
+            call.bookings.setdefault(serial, []).append(link)
+            if hold_timer is not None:
+                q.schedule_in(hold_timer, hold_check, (call, serial, link))
+            transmit(q, advance_confirm, (call, route, hop - 1, serial))
+
+        def hold_check(q: EventQueue, payload) -> None:
+            call, serial, link = payload
+            if call.established_serial == serial:
+                return  # the booking became a live circuit
+            links = call.bookings.get(serial)
+            if not links or link not in links:
+                return  # already released by the race-abort walk
+            if not call.finished and call.serial == serial:
+                # The attempt is still in flight (slow round trip); refresh
+                # rather than yank a reservation the CONFIRM may complete.
+                q.schedule_in(hold_timer, hold_check, payload)
+                return
+            release_link(call, serial, link)
+            stats.hold_expirations += 1
 
         def release_and_retry(q: EventQueue, payload) -> None:
-            call, route, hop = payload
+            call, route, hop, serial = payload
             if hop == len(route):
-                q.schedule_in(0.0, retry, call)
+                transmit(q, retry, (call, serial), hops=0)
                 return
-            occupancy[route[hop]] -= 1
-            q.schedule_in(delay, release_and_retry, (call, route, hop + 1))
+            release_link(call, serial, route[hop])
+            transmit(q, release_and_retry, (call, route, hop + 1, serial))
 
-        def start_teardown(q: EventQueue, route: tuple[int, ...]) -> None:
-            advance_teardown(q, (route, 0))
+        def start_teardown(q: EventQueue, call_id: int) -> None:
+            record = active_calls.pop(call_id, None)
+            if record is None:
+                return  # the call was severed by a link failure
+            advance_teardown(q, (record[0], 0))
 
         def advance_teardown(q: EventQueue, payload) -> None:
+            # TEARDOWN is modelled as reliable (link-layer retransmission):
+            # losing it would leak circuits of *completed* calls forever,
+            # which no deployment tolerates.
             route, hop = payload
             if hop == len(route):
                 return
             occupancy[route[hop]] -= 1
             q.schedule_in(delay, advance_teardown, (route, hop + 1))
+
+        def fault_event(q: EventQueue, payload) -> None:
+            links, up = payload
+            newly_down = []
+            for link in links:
+                if link_down[link] == (not up):
+                    continue
+                link_down[link] = not up
+                if up:
+                    capacities[link] = raw_capacities[link]
+                    thresholds[link] = base_thresholds[link]
+                else:
+                    capacities[link] = 0
+                    thresholds[link] = 0
+                    newly_down.append(link)
+            if not newly_down:
+                return
+            downset = set(newly_down)
+            for call_id in list(active_calls):
+                route, pair, measured = active_calls[call_id]
+                if downset.intersection(route):
+                    for link in route:
+                        occupancy[link] -= 1
+                    del active_calls[call_id]
+                    stats.dropped_calls += 1
+                    if measured:
+                        dropped[pair] += 1
 
         def arrival(q: EventQueue, payload) -> None:
             pair, holding, uniform = payload
@@ -263,6 +502,12 @@ class SignalingSimulator:
             )
             start_attempt(q, call)
 
+        # Fault events are scheduled before the arrivals so that, at equal
+        # times, a failure applies before the arrival's admission decision —
+        # matching the flow simulator's advance-then-admit ordering.
+        if dynamic:
+            for when, links, up in self.faults.resolve(network):
+                queue.schedule(when, fault_event, (links, up))
         times = trace.times.tolist()
         od_index = trace.od_index.tolist()
         holding = trace.holding_times.tolist()
@@ -280,6 +525,7 @@ class SignalingSimulator:
             warmup=warmup,
             duration=trace.duration,
             seed=trace.seed,
+            dropped=np.asarray(dropped, dtype=np.int64) if dynamic else None,
         )
 
 
@@ -289,14 +535,24 @@ def simulate_signaling(
     trace: ArrivalTrace,
     warmup: float = 10.0,
     propagation_delay: float = 0.0,
+    config: SignalingConfig | None = None,
+    faults: FaultTimeline | Sequence[FaultEvent] | None = None,
 ) -> tuple[SimulationResult, SignalingStats]:
-    """Run the signaling-level simulation; returns result + protocol stats."""
+    """Run the signaling-level simulation; returns result + protocol stats.
+
+    Pass ``config`` for the full reliability model (loss, retries, budgets,
+    hold timers); the bare ``propagation_delay`` shorthand is kept for the
+    delay-only studies.
+    """
+    if config is None:
+        config = SignalingConfig(propagation_delay=propagation_delay)
     simulator = SignalingSimulator(
         network,
         policy,
         trace,
         warmup=warmup,
-        config=SignalingConfig(propagation_delay=propagation_delay),
+        config=config,
+        faults=faults,
     )
     result = simulator.run()
     return result, simulator.stats

@@ -21,23 +21,39 @@ Admission semantics:
   takes the cheapest path iff that price does not exceed the call revenue.
 
 The simulator is deliberately a tight, allocation-light loop: occupancies
-live in a plain list, departures in a heap of ``(time, path)`` entries.
+live in a plain list, departures in a heap of
+``(time, path, width, pair, measured)`` entries.
+
+Dynamic faults (beyond the paper's static Section-4.2.2 scenarios): a
+:class:`~repro.sim.faultplane.FaultTimeline` makes links fail and recover
+*mid-run*.  When a link goes down, calls holding circuits on it are severed
+(counted in ``SimulationResult.dropped``, distinct from blocked) and the
+link admits nothing; when it comes back up it admits calls immediately.
+Routing state, however, reconverges only after ``reconvergence_delay``: the
+stale policy keeps routing until a ``rebuild_policy`` callback re-derives
+path tables, primary loads and protection levels against the changed
+topology — the regime where Theorem 1's guarantee is computed against the
+wrong topology, which is exactly what the dynamic-failure experiments
+measure.
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import Callable, Sequence
 
 import numpy as np
 
 from ..routing.base import RoutingPolicy
 from ..topology.graph import Network
-from .metrics import SimulationResult
+from .faultplane import FaultEvent, FaultStats, FaultTimeline
+from .metrics import BinnedSeries, SimulationResult
 from .trace import ArrivalTrace
 
 __all__ = ["LossNetworkSimulator", "simulate"]
 
 _REVENUE_EPS = 1e-12
+_INFINITY = float("inf")
 
 
 class LossNetworkSimulator:
@@ -46,6 +62,14 @@ class LossNetworkSimulator:
     ``warmup`` truncates measurement: calls arriving before it still occupy
     circuits (warming the state up from the idle network, as the paper does
     with its 10 time units) but are not counted.
+
+    ``faults`` enables mid-run link failures/repairs; ``rebuild_policy``
+    (optional) is called with the failure-adjusted network after each
+    topology change, ``reconvergence_delay`` time units late, and must
+    return a fresh policy of the same discipline family.  Without it the
+    stale policy routes for the whole run (links down still admit nothing).
+    ``timeline_bin`` collects a :class:`~repro.sim.metrics.BinnedSeries` of
+    per-bin offered/blocked/dropped counts on :attr:`binned_series`.
     """
 
     def __init__(
@@ -56,6 +80,10 @@ class LossNetworkSimulator:
         warmup: float = 10.0,
         collect_link_stats: bool = False,
         initial_occupancy: np.ndarray | None = None,
+        faults: FaultTimeline | Sequence[FaultEvent] | None = None,
+        reconvergence_delay: float = 0.0,
+        rebuild_policy: Callable[[Network], RoutingPolicy] | None = None,
+        timeline_bin: float | None = None,
     ):
         if warmup < 0 or warmup >= trace.duration:
             raise ValueError(
@@ -66,11 +94,28 @@ class LossNetworkSimulator:
             # required, but link counts must agree.
             if policy.network.num_links != network.num_links:
                 raise ValueError("policy was compiled for a different network")
+        if reconvergence_delay < 0:
+            raise ValueError("reconvergence_delay must be non-negative")
+        if timeline_bin is not None and timeline_bin <= 0:
+            raise ValueError("timeline_bin must be positive")
         self.network = network
         self.policy = policy
         self.trace = trace
         self.warmup = float(warmup)
         self.collect_link_stats = collect_link_stats
+        if faults is None:
+            self.faults: FaultTimeline | None = None
+        elif isinstance(faults, FaultTimeline):
+            self.faults = faults if faults else None
+        else:
+            self.faults = FaultTimeline(tuple(faults)) or None
+        self.reconvergence_delay = float(reconvergence_delay)
+        self.rebuild_policy = rebuild_policy
+        self.timeline_bin = timeline_bin
+        #: Fault-plane counters, filled by :meth:`run` when faults are set.
+        self.fault_stats: FaultStats | None = None
+        #: Per-bin offered/blocked/dropped, filled when ``timeline_bin`` set.
+        self.binned_series: BinnedSeries | None = None
         #: Time-averaged occupancy per link over the measured window, filled
         #: by :meth:`run` when ``collect_link_stats`` is set (else None).
         self.mean_link_occupancy: np.ndarray | None = None
@@ -90,26 +135,10 @@ class LossNetworkSimulator:
             self.initial_occupancy = None
 
     def run(self) -> SimulationResult:
-        policy = self.policy
         trace = self.trace
+        num_links = self.network.num_links
         capacities = self.network.capacities().tolist()
         num_pairs = len(trace.od_pairs)
-
-        # Per-O-D fast lookup.  Most pairs have a single deterministic route
-        # choice; the bifurcated case consults the per-call uniform variate.
-        single_choice = []
-        multi = []
-        for od in trace.od_pairs:
-            options = policy.choices.get(od, ())
-            if len(options) == 1:
-                single_choice.append(options[0])
-                multi.append(None)
-            elif len(options) == 0:
-                single_choice.append(None)
-                multi.append(None)
-            else:
-                single_choice.append(None)
-                multi.append((options, policy.cum_probs[od].tolist()))
 
         times = trace.times.tolist()
         od_index = trace.od_index.tolist()
@@ -126,8 +155,8 @@ class LossNetworkSimulator:
         class_offered = [0] * num_classes
         class_blocked = [0] * num_classes
 
-        occupancy = [0] * self.network.num_links
-        departures: list[tuple[float, tuple[int, ...], int]] = []
+        occupancy = [0] * num_links
+        departures: list[tuple[float, tuple[int, ...], int, int, int]] = []
         if self.initial_occupancy is not None:
             from .rng import substream
 
@@ -136,40 +165,23 @@ class LossNetworkSimulator:
                 for __ in range(int(count)):
                     occupancy[link_index] += 1
                     departures.append(
-                        (float(warm_rng.exponential(1.0)), (link_index,), 1)
+                        (float(warm_rng.exponential(1.0)), (link_index,), 1, -1, 0)
                     )
             heapq.heapify(departures)
         offered = [0] * num_pairs
         blocked = [0] * num_pairs
+        dropped = [0] * num_pairs
         primary_carried = 0
         alternate_carried = 0
 
-        if policy.discipline == "threshold":
-            if policy.alt_thresholds is None:
-                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
-            thresholds = [int(t) for t in policy.alt_thresholds]
-            run_call = self._make_threshold_step(capacities, thresholds, occupancy)
-        elif policy.discipline == "length-threshold":
-            tables = getattr(policy, "length_thresholds", None)
-            if tables is None:
-                raise ValueError(f"policy {policy.name!r} lacks length thresholds")
-            run_call = self._make_length_threshold_step(capacities, tables, occupancy)
-        elif policy.discipline == "least-busy":
-            if policy.alt_thresholds is None:
-                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
-            thresholds = [int(t) for t in policy.alt_thresholds]
-            run_call = self._make_least_busy_step(capacities, thresholds, occupancy)
-        elif policy.discipline == "shadow":
-            if policy.price_tables is None:
-                raise ValueError(f"policy {policy.name!r} lacks price tables")
-            run_call = self._make_shadow_step(capacities, occupancy)
-        else:
-            raise ValueError(f"unknown routing discipline {policy.discipline!r}")
+        single_choice, multi, run_call, threshold_lists, pristine_thresholds = (
+            self._compile(self.policy, capacities, occupancy)
+        )
 
         collect = self.collect_link_stats
         if collect:
-            occupancy_integral = [0.0] * self.network.num_links
-            last_change = [warmup] * self.network.num_links
+            occupancy_integral = [0.0] * num_links
+            last_change = [warmup] * num_links
 
             def note_change(link: int, now_: float) -> None:
                 since = last_change[link]
@@ -177,17 +189,143 @@ class LossNetworkSimulator:
                     start = since if since > warmup else warmup
                     occupancy_integral[link] += occupancy[link] * (now_ - start)
                 last_change[link] = now_
+        else:
+            note_change = None
+
+        # ------------------------------------------------------ fault plane
+        bin_width = self.timeline_bin
+        if bin_width is not None:
+            num_bins = max(1, int(np.ceil(trace.duration / bin_width)))
+            bin_offered = [0] * num_bins
+            bin_blocked = [0] * num_bins
+            bin_dropped = [0] * num_bins
+
+        fault_events = self.faults.resolve(self.network) if self.faults else []
+        dynamic = bool(fault_events)
+        if dynamic:
+            stats = FaultStats()
+            raw_capacities = [link.capacity for link in self.network.links]
+            down = [self.network.is_failed(i) for i in range(num_links)]
+            topo = self.network.copy()
+            pending_rebuilds: list[float] = []
+            fault_cursor = 0
+            topo_version = 0
+            rebuilt_version = 0
+            self.fault_stats = stats
 
         heap_push = heapq.heappush
         heap_pop = heapq.heappop
+
+        def release_departure(entry) -> None:
+            departure_time, path, width, __, ___ = entry
+            for link in path:
+                if collect:
+                    note_change(link, departure_time)
+                occupancy[link] -= width
+
+        def apply_fault_event(event_time, links, up) -> None:
+            nonlocal topo_version
+            newly_down = []
+            for link in links:
+                if down[link] == (not up):
+                    continue  # no-op transition, e.g. failing a failed link
+                down[link] = not up
+                topo.set_link_state(link, up)
+                topo_version += 1
+                if up:
+                    capacities[link] = raw_capacities[link]
+                    for lst, pristine in zip(threshold_lists, pristine_thresholds):
+                        lst[link] = pristine[link]
+                else:
+                    capacities[link] = 0
+                    for lst in threshold_lists:
+                        lst[link] = 0
+                    newly_down.append(link)
+            stats.events_applied += 1
+            if newly_down:
+                downset = set(newly_down)
+                kept = []
+                for entry in departures:
+                    if downset.intersection(entry[1]):
+                        release_departure(
+                            (event_time, entry[1], entry[2], entry[3], entry[4])
+                        )
+                        stats.calls_dropped += 1
+                        if entry[3] >= 0 and entry[4]:
+                            dropped[entry[3]] += 1
+                            if bin_width is not None:
+                                bin_dropped[
+                                    min(num_bins - 1, int(event_time / bin_width))
+                                ] += 1
+                    else:
+                        kept.append(entry)
+                departures[:] = kept
+                heapq.heapify(departures)
+            if self.rebuild_policy is not None:
+                heap_push(pending_rebuilds, event_time + self.reconvergence_delay)
+
+        def reconverge(now_: float) -> None:
+            nonlocal single_choice, multi, run_call
+            nonlocal threshold_lists, pristine_thresholds, rebuilt_version
+            if rebuilt_version == topo_version:
+                stats.reconvergences.append(now_)
+                return  # topology unchanged since the last rebuild
+            new_policy = self.rebuild_policy(topo)
+            single_choice, multi, run_call, threshold_lists, pristine_thresholds = (
+                self._compile(new_policy, capacities, occupancy)
+            )
+            # The fresh tables assume the current topology; re-impose the
+            # admission overlay for links that are (still) down.
+            for link in range(num_links):
+                if down[link]:
+                    capacities[link] = 0
+                    for lst in threshold_lists:
+                        lst[link] = 0
+            rebuilt_version = topo_version
+            stats.reconvergences.append(now_)
+
+        def advance_to(now_: float) -> None:
+            """Process departures, fault events and rebuilds up to ``now_``.
+
+            Departures win ties (a call completing exactly at a failure
+            instant completes), then fault events, then reconvergences — so
+            a zero-delay rebuild still sees its own fault applied first.
+            """
+            nonlocal fault_cursor
+            while True:
+                next_dep = departures[0][0] if departures else _INFINITY
+                if dynamic:
+                    next_fault = (
+                        fault_events[fault_cursor][0]
+                        if fault_cursor < len(fault_events)
+                        else _INFINITY
+                    )
+                    next_rebuild = (
+                        pending_rebuilds[0] if pending_rebuilds else _INFINITY
+                    )
+                else:
+                    next_fault = next_rebuild = _INFINITY
+                upcoming = min(next_dep, next_fault, next_rebuild)
+                if upcoming > now_:
+                    break
+                if next_dep <= next_fault and next_dep <= next_rebuild:
+                    release_departure(heap_pop(departures))
+                elif next_fault <= next_rebuild:
+                    __, links, up = fault_events[fault_cursor]
+                    fault_cursor += 1
+                    apply_fault_event(next_fault, links, up)
+                else:
+                    heap_pop(pending_rebuilds)
+                    reconverge(next_rebuild)
+
+        simple = not dynamic and bin_width is None
         for call in range(len(times)):
             now = times[call]
-            while departures and departures[0][0] <= now:
-                departure_time, path, width = heap_pop(departures)
-                for link in path:
-                    if collect:
-                        note_change(link, departure_time)
-                    occupancy[link] -= width
+            if simple:
+                while departures and departures[0][0] <= now:
+                    release_departure(heap_pop(departures))
+            else:
+                advance_to(now)
             pair = od_index[call]
             width = 1 if bandwidths is None else bandwidths[call]
             measured = now >= warmup
@@ -195,6 +333,8 @@ class LossNetworkSimulator:
                 offered[pair] += 1
                 if class_index is not None:
                     class_offered[class_index[call]] += 1
+                if bin_width is not None:
+                    bin_offered[min(num_bins - 1, int(now / bin_width))] += 1
             choice = single_choice[pair]
             if choice is None:
                 options = multi[pair]
@@ -204,6 +344,8 @@ class LossNetworkSimulator:
                         blocked[pair] += 1
                         if class_index is not None:
                             class_blocked[class_index[call]] += 1
+                        if bin_width is not None:
+                            bin_blocked[min(num_bins - 1, int(now / bin_width))] += 1
                     continue
                 route_options, cum = options
                 u = uniforms[call]
@@ -217,30 +359,44 @@ class LossNetworkSimulator:
                     blocked[pair] += 1
                     if class_index is not None:
                         class_blocked[class_index[call]] += 1
+                    if bin_width is not None:
+                        bin_blocked[min(num_bins - 1, int(now / bin_width))] += 1
                 continue
             for link in path:
                 if collect:
                     note_change(link, now)
                 occupancy[link] += width
-            heap_push(departures, (now + holding[call], path, width))
+            heap_push(
+                departures,
+                (now + holding[call], path, width, pair, 1 if measured else 0),
+            )
             if measured:
                 if used_alternate:
                     alternate_carried += 1
                 else:
                     primary_carried += 1
 
+        horizon = trace.duration
+        if dynamic or bin_width is not None:
+            # Fault events between the last arrival and the horizon still
+            # count (drops after the final call must be recorded).
+            advance_to(horizon)
         if collect:
-            horizon = trace.duration
             while departures and departures[0][0] <= horizon:
-                departure_time, path, width = heap_pop(departures)
-                for link in path:
-                    note_change(link, departure_time)
-                    occupancy[link] -= width
+                release_departure(heap_pop(departures))
             window = horizon - warmup
-            for link in range(self.network.num_links):
+            for link in range(num_links):
                 note_change(link, horizon)
             self.mean_link_occupancy = (
                 np.asarray(occupancy_integral) / window if window > 0 else None
+            )
+
+        if bin_width is not None:
+            self.binned_series = BinnedSeries(
+                bin_width=float(bin_width),
+                offered=np.asarray(bin_offered, dtype=np.int64),
+                blocked=np.asarray(bin_blocked, dtype=np.int64),
+                dropped=np.asarray(bin_dropped, dtype=np.int64),
             )
 
         return SimulationResult(
@@ -255,7 +411,66 @@ class LossNetworkSimulator:
             class_names=trace.class_names,
             class_offered=np.asarray(class_offered, dtype=np.int64),
             class_blocked=np.asarray(class_blocked, dtype=np.int64),
+            dropped=np.asarray(dropped, dtype=np.int64) if dynamic else None,
         )
+
+    # ----------------------------------------------------- policy compilation
+
+    def _compile(self, policy: RoutingPolicy, capacities, occupancy):
+        """Compile one policy into the per-call lookup tables and closure.
+
+        Returns ``(single_choice, multi, run_call, threshold_lists,
+        pristine_thresholds)``.  ``threshold_lists`` are the mutable per-link
+        threshold lists captured by the admission closure (empty for the
+        shadow discipline) and ``pristine_thresholds`` their untouched
+        copies; the fault plane zeroes entries of down links and restores
+        them from the pristine copy on repair.  Called again after each
+        reconvergence, so everything policy-derived is rebuilt here.
+        """
+        # Per-O-D fast lookup.  Most pairs have a single deterministic route
+        # choice; the bifurcated case consults the per-call uniform variate.
+        single_choice = []
+        multi = []
+        for od in self.trace.od_pairs:
+            options = policy.choices.get(od, ())
+            if len(options) == 1:
+                single_choice.append(options[0])
+                multi.append(None)
+            elif len(options) == 0:
+                single_choice.append(None)
+                multi.append(None)
+            else:
+                single_choice.append(None)
+                multi.append((options, policy.cum_probs[od].tolist()))
+
+        if policy.discipline == "threshold":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            thresholds = [int(t) for t in policy.alt_thresholds]
+            run_call = self._make_threshold_step(capacities, thresholds, occupancy)
+            threshold_lists = [thresholds]
+        elif policy.discipline == "length-threshold":
+            tables = getattr(policy, "length_thresholds", None)
+            if tables is None:
+                raise ValueError(f"policy {policy.name!r} lacks length thresholds")
+            tables = {length: list(row) for length, row in tables.items()}
+            run_call = self._make_length_threshold_step(capacities, tables, occupancy)
+            threshold_lists = [tables[length] for length in sorted(tables)]
+        elif policy.discipline == "least-busy":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            thresholds = [int(t) for t in policy.alt_thresholds]
+            run_call = self._make_least_busy_step(capacities, thresholds, occupancy)
+            threshold_lists = [thresholds]
+        elif policy.discipline == "shadow":
+            if policy.price_tables is None:
+                raise ValueError(f"policy {policy.name!r} lacks price tables")
+            run_call = self._make_shadow_step(policy, capacities, occupancy)
+            threshold_lists = []
+        else:
+            raise ValueError(f"unknown routing discipline {policy.discipline!r}")
+        pristine = [list(lst) for lst in threshold_lists]
+        return single_choice, multi, run_call, threshold_lists, pristine
 
     # ------------------------------------------------------------- admission
 
@@ -345,15 +560,15 @@ class LossNetworkSimulator:
 
         return step
 
-    def _make_shadow_step(self, capacities, occupancy):
+    def _make_shadow_step(self, policy, capacities, occupancy):
         """Build the per-call admission closure for shadow-price policies.
 
         Prices are per unit of bandwidth: a ``width``-unit call at link
         occupancy ``s`` is charged the sum of the unit prices at states
         ``s, s+1, ..., s+width-1`` (the unit-decomposition view).
         """
-        tables = self.policy.price_tables
-        revenue = getattr(self.policy, "revenue", 1.0) + _REVENUE_EPS
+        tables = policy.price_tables
+        revenue = getattr(policy, "revenue", 1.0) + _REVENUE_EPS
 
         def step(choice, width):
             best_path = None
@@ -388,6 +603,28 @@ def simulate(
     policy: RoutingPolicy,
     trace: ArrivalTrace,
     warmup: float = 10.0,
+    collect_link_stats: bool = False,
+    initial_occupancy: np.ndarray | None = None,
+    faults: FaultTimeline | Sequence[FaultEvent] | None = None,
+    reconvergence_delay: float = 0.0,
+    rebuild_policy: Callable[[Network], RoutingPolicy] | None = None,
+    timeline_bin: float | None = None,
 ) -> SimulationResult:
-    """Convenience wrapper: build and run a :class:`LossNetworkSimulator`."""
-    return LossNetworkSimulator(network, policy, trace, warmup).run()
+    """Convenience wrapper: build and run a :class:`LossNetworkSimulator`.
+
+    Every constructor knob is plumbed through, so link statistics, warm
+    starts and the dynamic fault plane are all reachable without touching
+    the class directly.
+    """
+    return LossNetworkSimulator(
+        network,
+        policy,
+        trace,
+        warmup,
+        collect_link_stats=collect_link_stats,
+        initial_occupancy=initial_occupancy,
+        faults=faults,
+        reconvergence_delay=reconvergence_delay,
+        rebuild_policy=rebuild_policy,
+        timeline_bin=timeline_bin,
+    ).run()

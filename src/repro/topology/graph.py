@@ -152,6 +152,18 @@ class Network:
             caps[index] = 0
         return caps
 
+    def duplex_link_indices(self, a: int, b: int) -> tuple[int, int]:
+        """Indices of the ``a->b`` and ``b->a`` links (failed or not).
+
+        Raises ``KeyError`` naming the pair when either direction is absent —
+        the validation entry point for failure scenarios and fault timelines.
+        """
+        forward = self._by_endpoints.get((a, b))
+        backward = self._by_endpoints.get((b, a))
+        if forward is None or backward is None:
+            raise KeyError(f"no duplex link {a}<->{b} in the network")
+        return forward, backward
+
     # --------------------------------------------------------------- failures
 
     def fail_link(self, src: int, dst: int) -> None:
@@ -165,6 +177,19 @@ class Network:
         """Take both directions of the physical link ``a<->b`` out of service."""
         self.fail_link(a, b)
         self.fail_link(b, a)
+
+    def set_link_state(self, index: int, up: bool) -> None:
+        """Fail (``up=False``) or restore (``up=True``) a link by index.
+
+        The index-based twin of :meth:`fail_link`/:meth:`restore_link`, used
+        by the dynamic fault plane whose events are resolved to indices.
+        """
+        if not 0 <= index < len(self._links):
+            raise IndexError(f"link index {index} out of range [0, {len(self._links)})")
+        if up:
+            self._failed.discard(index)
+        else:
+            self._failed.add(index)
 
     def restore_link(self, src: int, dst: int) -> None:
         index = self._by_endpoints.get((src, dst))

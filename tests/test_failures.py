@@ -60,6 +60,23 @@ class TestApplyFailures:
         with pytest.raises(KeyError):
             apply_failures(nsfnet, traffic, FailureScenario(((0, 5),)))
 
+    def test_unknown_link_error_names_the_pair(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        with pytest.raises(KeyError, match="0<->5"):
+            apply_failures(nsfnet, traffic, FailureScenario(((0, 5),)))
+
+    def test_duplicate_link_rejected(self, nsfnet):
+        traffic = nsfnet_nominal_traffic()
+        with pytest.raises(ValueError, match="2<->3"):
+            apply_failures(nsfnet, traffic, FailureScenario(((2, 3), (2, 3))))
+
+    def test_reversed_duplicate_rejected(self, nsfnet):
+        # (3, 2) is the same duplex link as (2, 3): failing it "twice" is a
+        # scenario bug, not a doubly-failed link.
+        traffic = nsfnet_nominal_traffic()
+        with pytest.raises(ValueError, match="2<->3|3<->2"):
+            apply_failures(nsfnet, traffic, FailureScenario(((2, 3), (3, 2))))
+
     def test_max_hops_honoured(self, nsfnet):
         traffic = nsfnet_nominal_traffic()
         failed = apply_failures(nsfnet, traffic, FailureScenario(((7, 9),)), max_hops=6)

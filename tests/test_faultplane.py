@@ -1,0 +1,337 @@
+"""Tests for the dynamic fault plane and its simulator integration."""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.routing.alternate import UncontrolledAlternateRouting
+from repro.routing.single_path import SinglePathRouting
+from repro.sim.faultplane import (
+    FaultEvent,
+    FaultTimeline,
+    FlappingLink,
+    MarkovLinkFaults,
+    ScheduledFailure,
+    build_fault_timeline,
+    single_failure_timeline,
+)
+from repro.sim.signaling import SignalingConfig, simulate_signaling
+from repro.sim.simulator import LossNetworkSimulator, simulate
+from repro.sim.trace import ArrivalTrace, generate_trace
+from repro.topology.generators import line
+from repro.topology.nsfnet import nsfnet_backbone
+from repro.topology.paths import build_path_table
+from repro.traffic.generators import uniform_traffic
+
+
+class TestFaultEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, (0, 1), up=False)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, (2, 2), up=False)
+
+    def test_timeline_sorts_events(self):
+        timeline = FaultTimeline((
+            FaultEvent(5.0, (0, 1), up=True),
+            FaultEvent(2.0, (0, 1), up=False),
+        ))
+        assert [e.time for e in timeline.events] == [2.0, 5.0]
+        assert len(timeline) == 2 and bool(timeline)
+        assert not FaultTimeline()
+
+    def test_resolve_unknown_pair_names_it(self, nsfnet):
+        timeline = single_failure_timeline(0, 5, fail_at=1.0)
+        with pytest.raises(KeyError, match="0<->5"):
+            timeline.resolve(nsfnet)
+
+    def test_resolve_yields_both_directions(self, nsfnet):
+        timeline = single_failure_timeline(2, 3, fail_at=1.0, repair_at=2.0)
+        resolved = timeline.resolve(nsfnet)
+        assert len(resolved) == 2
+        for __, links, __ in resolved:
+            assert len(links) == 2
+            endpoints = {nsfnet.links[i].endpoints for i in links}
+            assert endpoints == {(2, 3), (3, 2)}
+
+
+class TestFaultProcesses:
+    def test_scheduled_failure_orders_repair_after_failure(self):
+        with pytest.raises(ValueError):
+            ScheduledFailure(0, 1, fail_at=5.0, repair_at=5.0)
+
+    def test_events_beyond_duration_discarded(self):
+        spec = ScheduledFailure(0, 1, fail_at=5.0, repair_at=50.0)
+        events = spec.events(duration=20.0, seed=0)
+        assert [e.up for e in events] == [False]
+
+    def test_flapping_link_cycles(self):
+        spec = FlappingLink(0, 1, start=10.0, period=4.0, cycles=3, outage=1.0)
+        events = spec.events(duration=100.0, seed=0)
+        assert [e.time for e in events] == [10.0, 11.0, 14.0, 15.0, 18.0, 19.0]
+        assert [e.up for e in events] == [False, True] * 3
+
+    def test_flapping_outage_must_fit_period(self):
+        with pytest.raises(ValueError):
+            FlappingLink(0, 1, start=0.0, period=4.0, cycles=2, outage=4.0)
+
+    def test_markov_faults_alternate(self):
+        spec = MarkovLinkFaults(0, 1, mean_uptime=5.0, mean_downtime=1.0)
+        events = spec.events(duration=200.0, seed=3)
+        assert events, "200 time units at mean uptime 5 must produce events"
+        assert [e.up for e in events] == [i % 2 == 1 for i in range(len(events))]
+
+    def test_markov_faults_deterministic_per_seed(self):
+        spec = MarkovLinkFaults(2, 3, mean_uptime=10.0, mean_downtime=2.0)
+        first = spec.events(duration=300.0, seed=11)
+        second = spec.events(duration=300.0, seed=11)
+        assert first == second
+        assert spec.events(duration=300.0, seed=12) != first
+
+    def test_per_link_substreams_independent(self, nsfnet):
+        # Adding a fault model on another link must not perturb the events
+        # generated for this one (per-link named substreams).
+        solo = build_fault_timeline(
+            nsfnet, [MarkovLinkFaults(2, 3, 10.0, 2.0)], duration=200.0, seed=5
+        )
+        paired = build_fault_timeline(
+            nsfnet,
+            [MarkovLinkFaults(2, 3, 10.0, 2.0), MarkovLinkFaults(7, 9, 10.0, 2.0)],
+            duration=200.0,
+            seed=5,
+        )
+        own = [e for e in paired.events if e.duplex == (2, 3)]
+        assert own == list(solo.events)
+
+
+class TestBuildTimeline:
+    def test_unknown_pair_names_it(self, nsfnet):
+        with pytest.raises(KeyError, match="0<->5"):
+            build_fault_timeline(
+                nsfnet, [ScheduledFailure(0, 5, fail_at=1.0)], duration=10.0
+            )
+
+    def test_duplicate_pair_rejected(self, nsfnet):
+        specs = [
+            ScheduledFailure(2, 3, fail_at=1.0),
+            FlappingLink(3, 2, start=5.0, period=2.0, cycles=1),
+        ]
+        with pytest.raises(ValueError, match="3<->2|2<->3"):
+            build_fault_timeline(nsfnet, specs, duration=10.0)
+
+    def test_merged_and_sorted(self, nsfnet):
+        timeline = build_fault_timeline(
+            nsfnet,
+            [
+                ScheduledFailure(2, 3, fail_at=8.0, repair_at=9.0),
+                FlappingLink(7, 9, start=1.0, period=4.0, cycles=2, outage=1.0),
+            ],
+            duration=20.0,
+        )
+        times = [e.time for e in timeline.events]
+        assert times == sorted(times)
+        assert len(timeline) == 6
+
+
+def _surgical_trace() -> ArrivalTrace:
+    """One hand-built call: arrives at t=1, holds 10 — alive at the failure."""
+    return ArrivalTrace(
+        od_pairs=((0, 1),),
+        times=np.array([1.0]),
+        od_index=np.array([0]),
+        holding_times=np.array([10.0]),
+        uniforms=np.array([0.0]),
+        duration=20.0,
+        seed=0,
+    )
+
+
+class TestDynamicSimulation:
+    def test_in_progress_call_dropped_not_blocked(self):
+        net = line(2, 5)
+        policy = SinglePathRouting(net, build_path_table(net))
+        trace = _surgical_trace()
+        result = simulate(
+            net, policy, trace, warmup=0.5,
+            faults=single_failure_timeline(0, 1, fail_at=5.0),
+        )
+        assert result.total_blocked == 0
+        assert result.total_dropped == 1
+        assert result.availability == 0.0
+
+    def test_call_ending_before_failure_not_dropped(self):
+        net = line(2, 5)
+        policy = SinglePathRouting(net, build_path_table(net))
+        trace = _surgical_trace()
+        result = simulate(
+            net, policy, trace, warmup=0.5,
+            faults=single_failure_timeline(0, 1, fail_at=12.0),
+        )
+        assert result.total_dropped == 0
+
+    def test_warmup_call_drop_not_measured(self):
+        net = line(2, 5)
+        policy = SinglePathRouting(net, build_path_table(net))
+        trace = _surgical_trace()
+        result = simulate(
+            net, policy, trace, warmup=2.0,  # the call arrives inside warm-up
+            faults=single_failure_timeline(0, 1, fail_at=5.0),
+        )
+        assert result.total_dropped == 0
+
+    def test_repair_restores_capacity(self):
+        net = line(2, 5)
+        policy = SinglePathRouting(net, build_path_table(net))
+        late_call = ArrivalTrace(
+            od_pairs=((0, 1),),
+            times=np.array([8.0]),
+            od_index=np.array([0]),
+            holding_times=np.array([1.0]),
+            uniforms=np.array([0.0]),
+            duration=20.0,
+            seed=0,
+        )
+        down = simulate(
+            net, policy, late_call, warmup=0.5,
+            faults=single_failure_timeline(0, 1, fail_at=2.0),
+        )
+        repaired = simulate(
+            net, policy, late_call, warmup=0.5,
+            faults=single_failure_timeline(0, 1, fail_at=2.0, repair_at=6.0),
+        )
+        assert down.total_blocked == 1
+        assert repaired.total_blocked == 0
+
+    def test_reconvergences_recorded(self, nsfnet, nsfnet_table):
+        traffic = uniform_traffic(14, 1.0)
+        trace = generate_trace(traffic, 40.0, 0)
+        policy = UncontrolledAlternateRouting(nsfnet, nsfnet_table)
+        simulator = LossNetworkSimulator(
+            nsfnet, policy, trace, warmup=5.0,
+            faults=single_failure_timeline(2, 3, fail_at=10.0, repair_at=25.0),
+            reconvergence_delay=2.0,
+            rebuild_policy=lambda net: UncontrolledAlternateRouting(
+                net, build_path_table(net)
+            ),
+        )
+        simulator.run()
+        assert simulator.fault_stats.reconvergences == [12.0, 27.0]
+        assert simulator.fault_stats.events_applied == 2
+
+    def test_binned_series_covers_run(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 90.0)
+        trace = generate_trace(traffic, 30.0, 2)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        simulator = LossNetworkSimulator(
+            quad_network, policy, trace, warmup=5.0, timeline_bin=5.0
+        )
+        result = simulator.run()
+        series = simulator.binned_series
+        assert series.num_bins == 6
+        assert int(series.offered.sum()) == result.total_offered
+        assert int(series.blocked.sum()) == result.total_blocked
+
+
+def _dynamic_replication(seed: int):
+    """One dynamic NSFNet replication, reduced to plain comparables.
+
+    Module-level so it can cross a process boundary: determinism must hold
+    not just across calls but across interpreter processes.
+    """
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    traffic = uniform_traffic(14, 2.0)
+    trace = generate_trace(traffic, 50.0, seed)
+    policy = UncontrolledAlternateRouting(network, table)
+    simulator = LossNetworkSimulator(
+        network, policy, trace, warmup=10.0,
+        faults=build_fault_timeline(
+            network,
+            [
+                ScheduledFailure(2, 3, fail_at=20.0, repair_at=35.0),
+                MarkovLinkFaults(7, 9, mean_uptime=30.0, mean_downtime=5.0),
+            ],
+            duration=50.0,
+            seed=seed,
+        ),
+        reconvergence_delay=1.0,
+        rebuild_policy=lambda net: UncontrolledAlternateRouting(
+            net, build_path_table(net)
+        ),
+        timeline_bin=5.0,
+    )
+    result = simulator.run()
+    return (
+        result.blocked.tolist(),
+        result.dropped.tolist(),
+        result.primary_carried,
+        result.alternate_carried,
+        simulator.fault_stats.reconvergences,
+        simulator.binned_series.dropped.tolist(),
+    )
+
+
+def _lossy_signaling_replication(seed: int):
+    """One lossy signaling run (retry/backoff exercised), plain comparables."""
+    network = nsfnet_backbone()
+    table = build_path_table(network)
+    traffic = uniform_traffic(14, 2.0)
+    trace = generate_trace(traffic, 40.0, seed)
+    policy = UncontrolledAlternateRouting(network, table)
+    config = SignalingConfig(
+        propagation_delay=0.001,
+        message_loss_probability=0.05,
+        setup_timeout=0.05,
+        max_retries=2,
+        backoff_factor=2.0,
+        crankback_budget=8,
+        hold_timer=0.5,
+    )
+    result, stats = simulate_signaling(
+        network, policy, trace, warmup=10.0, config=config,
+        faults=single_failure_timeline(2, 3, fail_at=15.0, repair_at=30.0),
+    )
+    return (
+        result.blocked.tolist(),
+        result.dropped.tolist(),
+        stats.messages_lost,
+        stats.setup_timeouts,
+        stats.retries,
+        stats.hold_expirations,
+    )
+
+
+class TestDeterminism:
+    def test_fault_timeline_identical_across_processes(self, nsfnet):
+        specs = [
+            MarkovLinkFaults(2, 3, mean_uptime=10.0, mean_downtime=2.0),
+            FlappingLink(7, 9, start=5.0, period=6.0, cycles=4),
+        ]
+        local = build_fault_timeline(nsfnet, specs, duration=100.0, seed=7)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(
+                build_fault_timeline, nsfnet, specs, 100.0, 7
+            ).result()
+        assert remote == local
+
+    def test_dynamic_simulation_identical_across_runs_and_processes(self):
+        local_a = _dynamic_replication(3)
+        local_b = _dynamic_replication(3)
+        assert local_a == local_b
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_dynamic_replication, 3).result()
+        assert remote == local_a
+        assert _dynamic_replication(4) != local_a
+
+    def test_lossy_signaling_identical_across_runs_and_processes(self):
+        local_a = _lossy_signaling_replication(3)
+        local_b = _lossy_signaling_replication(3)
+        assert local_a == local_b
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_lossy_signaling_replication, 3).result()
+        assert remote == local_a

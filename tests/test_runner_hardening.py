@@ -1,0 +1,154 @@
+"""Tests for the hardened replication runner: timeouts, retries, fallback."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import (
+    ReplicationConfig,
+    run_replications,
+    run_replications_detailed,
+    _replication_worker,
+)
+from repro.routing.single_path import SinglePathRouting
+from repro.topology.generators import line
+from repro.topology.paths import build_path_table
+from repro.traffic.matrix import TrafficMatrix
+
+CONFIG = ReplicationConfig(measured_duration=15.0, warmup=5.0, seeds=(0, 1, 2))
+
+
+def _fixture():
+    network = line(3, 10)
+    policy = SinglePathRouting(network, build_path_table(network))
+    traffic = TrafficMatrix({(0, 2): 3.0, (2, 0): 3.0})
+    return network, policy, traffic
+
+
+def _sentinel(seed: int) -> Path:
+    return Path(os.environ["REPRO_FLAKY_DIR"]) / f"seed-{seed}"
+
+
+def _flaky_worker(payload):
+    """Crash each seed's first attempt (file sentinel), succeed after."""
+    seed = payload[-1]
+    sentinel = _sentinel(seed)
+    if not sentinel.exists():
+        sentinel.touch()
+        raise RuntimeError("injected first-attempt failure")
+    return _replication_worker(payload)
+
+
+def _always_failing_worker(payload):
+    raise RuntimeError("injected permanent failure")
+
+
+def _hang_then_fast_worker(payload):
+    """Hang seed 1's first attempt long enough to trip the seed timeout."""
+    seed = payload[-1]
+    if seed == 1:
+        sentinel = _sentinel(seed)
+        if not sentinel.exists():
+            sentinel.touch()
+            time.sleep(6.0)
+    return _replication_worker(payload)
+
+
+def _pool_killing_worker(payload):
+    """Die hard in a pool worker (breaks the pool); compute fine in-process."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return _replication_worker(payload)
+
+
+class TestHardenedRunner:
+    def test_parallel_matches_serial(self):
+        network, policy, traffic = _fixture()
+        serial_stat, serial_results = run_replications(
+            network, policy, traffic, CONFIG
+        )
+        parallel_stat, parallel_results = run_replications(
+            network, policy, traffic, CONFIG, parallel=True, max_workers=2
+        )
+        assert parallel_stat == serial_stat
+        assert [r.total_blocked for r in parallel_results] == [
+            r.total_blocked for r in serial_results
+        ]
+
+    def test_crashed_seed_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLAKY_DIR", str(tmp_path))
+        network, policy, traffic = _fixture()
+        outcome = run_replications_detailed(
+            network, policy, traffic, CONFIG,
+            parallel=True, max_workers=2,
+            max_seed_retries=1, worker=_flaky_worker,
+        )
+        assert outcome.all_completed
+        assert len(outcome.results) == len(CONFIG.seeds)
+        assert all(s.attempts == 2 for s in outcome.statuses)
+        assert all("injected" in s.errors[0] for s in outcome.statuses)
+        reference, __ = run_replications(network, policy, traffic, CONFIG)
+        assert outcome.stat == reference
+
+    def test_timed_out_seed_retried_and_sweep_completes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLAKY_DIR", str(tmp_path))
+        network, policy, traffic = _fixture()
+        outcome = run_replications_detailed(
+            network, policy, traffic, CONFIG,
+            parallel=True, max_workers=2,
+            seed_timeout=1.5, max_seed_retries=1, worker=_hang_then_fast_worker,
+        )
+        assert outcome.all_completed
+        hung = next(s for s in outcome.statuses if s.seed == 1)
+        assert hung.timeouts == 1
+        assert hung.attempts == 2
+        assert "timeout" in hung.errors[0]
+        reference, __ = run_replications(network, policy, traffic, CONFIG)
+        assert outcome.stat == reference
+
+    def test_exhausted_seed_reported_not_fatal(self):
+        network, policy, traffic = _fixture()
+        outcome = run_replications_detailed(
+            network, policy, traffic,
+            ReplicationConfig(measured_duration=15.0, warmup=5.0, seeds=(0, 1)),
+            parallel=True, max_workers=2,
+            max_seed_retries=0, worker=_half_failing_worker,
+        )
+        assert outcome.failed_seeds == (1,)
+        assert len(outcome.results) == 1
+        assert "FAILED" in outcome.describe()
+
+    def test_all_seeds_failing_raises(self):
+        network, policy, traffic = _fixture()
+        with pytest.raises(RuntimeError, match="every replication seed failed"):
+            run_replications_detailed(
+                network, policy, traffic, CONFIG,
+                parallel=True, max_workers=2,
+                max_seed_retries=0, worker=_always_failing_worker,
+            )
+
+    def test_broken_pool_falls_back_to_serial(self):
+        network, policy, traffic = _fixture()
+        outcome = run_replications_detailed(
+            network, policy, traffic, CONFIG,
+            parallel=True, max_workers=2,
+            max_seed_retries=1, worker=_pool_killing_worker,
+        )
+        assert outcome.pool_broken
+        assert outcome.all_completed
+        assert any(s.fallback for s in outcome.statuses)
+        reference, __ = run_replications(network, policy, traffic, CONFIG)
+        assert outcome.stat == reference
+
+
+def _half_failing_worker(payload):
+    """Fail odd seeds permanently, run even seeds normally."""
+    seed = payload[-1]
+    if seed % 2:
+        raise RuntimeError("odd seeds always fail")
+    return _replication_worker(payload)

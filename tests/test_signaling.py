@@ -175,3 +175,137 @@ class TestNsfnetIntegration:
         )
         assert abs(delayed.network_blocking - atomic) < 0.01
         assert stats.race_aborts < stats.established * 0.01
+
+
+class TestHardenedSignaling:
+    def test_loss_requires_timeout(self):
+        with pytest.raises(ValueError, match="setup_timeout"):
+            SignalingConfig(message_loss_probability=0.1, hold_timer=1.0)
+
+    def test_loss_requires_hold_timer(self):
+        with pytest.raises(ValueError, match="hold_timer"):
+            SignalingConfig(message_loss_probability=0.1, setup_timeout=0.1)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            SignalingConfig(message_loss_probability=1.0)
+        with pytest.raises(ValueError):
+            SignalingConfig(setup_timeout=0.0)
+        with pytest.raises(ValueError):
+            SignalingConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            SignalingConfig(crankback_budget=-1)
+
+    def test_fault_equivalence_with_flow_simulator(self, nsfnet, nsfnet_table):
+        # Zero delay, no loss, default timers: the protocol is atomic per
+        # arrival, so even with a mid-run failure it must match the flow
+        # simulator decision for decision — blocked AND dropped.
+        from repro.sim.faultplane import single_failure_timeline
+        from repro.traffic.calibration import nsfnet_nominal_traffic
+        from repro.traffic.demand import primary_link_loads
+
+        traffic = nsfnet_nominal_traffic().scaled(1.2)
+        loads = primary_link_loads(nsfnet, nsfnet_table, traffic)
+        policy = ControlledAlternateRouting(nsfnet, nsfnet_table, loads)
+        trace = generate_trace(traffic, 50.0, 4)
+        timeline = single_failure_timeline(2, 3, fail_at=20.0, repair_at=35.0)
+        flow = simulate(nsfnet, policy, trace, 10.0, faults=timeline)
+        signaling, __ = simulate_signaling(
+            nsfnet, policy, trace, 10.0, faults=timeline
+        )
+        assert flow.total_dropped > 0
+        assert np.array_equal(flow.blocked, signaling.blocked)
+        assert np.array_equal(flow.dropped, signaling.dropped)
+        assert flow.primary_carried == signaling.primary_carried
+        assert flow.alternate_carried == signaling.alternate_carried
+
+    def test_loss_triggers_timeouts_and_retries(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 60.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 9)
+        config = SignalingConfig(
+            propagation_delay=0.01,
+            message_loss_probability=0.2,
+            setup_timeout=0.1,
+            max_retries=2,
+            hold_timer=0.5,
+        )
+        __, stats = simulate_signaling(
+            quad_network, policy, trace, 5.0, config=config
+        )
+        assert stats.messages_lost > 0
+        assert stats.setup_timeouts > 0
+        assert stats.retries > 0
+
+    def test_backoff_reduces_spurious_timeouts(self):
+        # On a long path with a timeout shorter than the round trip, retry
+        # k waits timeout * factor^k: a large factor lets later retries
+        # outlast the round trip, so fewer attempts expire spuriously.
+        net = line(5, 50)
+        table = build_path_table(net)
+        traffic = TrafficMatrix({(0, 4): 3.0})
+        policy = SinglePathRouting(net, table)
+        trace = generate_trace(traffic, 40.0, 1)
+        timeouts = []
+        for factor in (1.0, 4.0):
+            config = SignalingConfig(
+                propagation_delay=0.01,  # round trip = 8 hops = 0.08
+                setup_timeout=0.05,
+                max_retries=3,
+                backoff_factor=factor,
+            )
+            __, stats = simulate_signaling(net, policy, trace, 5.0, config=config)
+            timeouts.append(stats.setup_timeouts)
+        assert timeouts[1] < timeouts[0]
+
+    def test_crankback_budget_blocks_instead_of_hunting(self, quad_network, quad_table):
+        traffic = uniform_traffic(4, 100.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 25.0, 10)
+        unbounded, __ = simulate_signaling(quad_network, policy, trace, 5.0)
+        budgeted, stats = simulate_signaling(
+            quad_network, policy, trace, 5.0,
+            config=SignalingConfig(crankback_budget=0),
+        )
+        # Budget 0: the first crankback exhausts the budget, so no call ever
+        # reaches an alternate — every would-be overflow blocks instead.
+        assert stats.budget_blocked > 0
+        assert budgeted.alternate_carried == 0
+        assert unbounded.alternate_carried > 0
+
+    def test_hold_timers_release_orphaned_bookings(self, quad_network, quad_table):
+        # Hammer the network through a lossy signaling plane, then probe
+        # with a light lossless trace: if lost CONFIRMs leaked circuits the
+        # probe would see phantom occupancy and block.
+        heavy = uniform_traffic(4, 100.0)
+        policy = UncontrolledAlternateRouting(quad_network, quad_table)
+        trace = generate_trace(heavy, 30.0, 11)
+        config = SignalingConfig(
+            propagation_delay=0.01,
+            message_loss_probability=0.3,
+            setup_timeout=0.1,
+            max_retries=1,
+            hold_timer=0.5,
+        )
+        simulator = SignalingSimulator(
+            quad_network, policy, trace, 5.0, config=config
+        )
+        simulator.run()
+        assert simulator.stats.hold_expirations > 0
+        light = generate_trace(uniform_traffic(4, 1.0), 30.0, 12)
+        probe, __ = simulate_signaling(quad_network, policy, light, 5.0)
+        assert probe.network_blocking == 0.0
+
+    def test_dropped_calls_counted_against_availability(self, nsfnet, nsfnet_table):
+        from repro.sim.faultplane import single_failure_timeline
+        from repro.traffic.calibration import nsfnet_nominal_traffic
+
+        traffic = nsfnet_nominal_traffic()
+        policy = UncontrolledAlternateRouting(nsfnet, nsfnet_table)
+        trace = generate_trace(traffic, 40.0, 5)
+        result, stats = simulate_signaling(
+            nsfnet, policy, trace, 10.0,
+            faults=single_failure_timeline(2, 3, fail_at=20.0),
+        )
+        assert stats.dropped_calls >= result.total_dropped > 0
+        assert result.availability < 1.0 - result.network_blocking
