@@ -23,6 +23,7 @@ Quick tour (see README.md for the narrative)::
     print(result.network_blocking)
 """
 
+from .api import Scenario, StudyResult, run_scenario, run_study
 from .analysis import (
     FairnessReport,
     FixedPointResult,
@@ -79,6 +80,11 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # façade
+    "Scenario",
+    "StudyResult",
+    "run_scenario",
+    "run_study",
     # core
     "erlang_b",
     "generalized_erlang_b",

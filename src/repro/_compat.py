@@ -1,0 +1,53 @@
+"""Backward-compatibility helpers for the public configuration API.
+
+The public config dataclasses (:class:`repro.experiments.runner.ReplicationConfig`,
+:class:`repro.sim.signaling.SignalingConfig`) are keyword-only: their field
+lists grow over time, and positional call sites silently change meaning when
+a field is inserted.  Legacy positional construction keeps working for now
+through :func:`positional_shim`, which maps positional arguments onto fields
+in declaration order and emits a :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import fields
+
+__all__ = ["positional_shim"]
+
+
+def positional_shim(cls):
+    """Class decorator: accept deprecated positional args on a kw-only dataclass.
+
+    Apply *above* ``@dataclass(kw_only=True)``.  Positional arguments are
+    assigned to fields in declaration order — the pre-keyword-only calling
+    convention — with a :class:`DeprecationWarning` naming the class, then
+    handed to the real keyword-only ``__init__``.
+    """
+    original_init = cls.__init__
+    names = [f.name for f in fields(cls)]
+
+    def __init__(self, *args, **kwargs):
+        if args:
+            if len(args) > len(names):
+                raise TypeError(
+                    f"{cls.__name__}() takes at most {len(names)} "
+                    f"arguments ({len(args)} given)"
+                )
+            warnings.warn(
+                f"passing {cls.__name__} arguments positionally is deprecated; "
+                f"use keyword arguments",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            for name, value in zip(names, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got multiple values for argument {name!r}"
+                    )
+                kwargs[name] = value
+        original_init(self, **kwargs)
+
+    __init__.__qualname__ = f"{cls.__name__}.__init__"
+    cls.__init__ = __init__
+    return cls

@@ -21,11 +21,15 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from ..core.erlang import erlang_b
+from ..core.erlang import erlang_b, shared_erlang_table
 from ..topology.graph import Network
 from ..traffic.matrix import TrafficMatrix
 
 __all__ = ["cut_bound_term", "erlang_bound", "single_node_cut_bound"]
+
+#: Cuts evaluated per vectorized block; bounds the ``(block, nodes)``
+#: membership matrix for the 2^21-cut worst case at ~22 nodes.
+_CUT_BLOCK = 8192
 
 
 def _cut_quantities(
@@ -86,21 +90,70 @@ def _proper_subsets(num_nodes: int) -> Iterator[frozenset[int]]:
             yield frozenset(combo)
 
 
-def erlang_bound(network: Network, traffic: TrafficMatrix) -> float:
+def erlang_bound(
+    network: Network, traffic: TrafficMatrix, reference: bool = False
+) -> float:
     """Maximum of the cut bound over all cuts — the paper's Erlang Bound.
 
     A loose lower bound on the average network blocking of *any* routing
     scheme (it even allows re-packing).  Exhaustive over the ``2^(N-1) - 1``
     complement-distinct cuts; fine for the paper's 4- and 12-node networks.
+
+    The default evaluates cuts in vectorized blocks: each block's node
+    membership matrix turns the directional cut traffics into two matrix
+    products, crossing capacities into masked sums over the link arrays, and
+    the Erlang evaluations batch by capacity through the shared memoized
+    table.  ``reference=True`` enumerates cuts one
+    :func:`cut_bound_term` at a time — the equivalence oracle for tests and
+    the perf-benchmark baseline.  The two orderings of the Erlang sum agree
+    to ~1e-12 relative.
     """
     if network.num_nodes > 22:
         raise ValueError(
             "exhaustive cut enumeration is impractical beyond ~22 nodes; "
             "use single_node_cut_bound"
         )
+    if reference:
+        best = 0.0
+        for cut in _proper_subsets(network.num_nodes):
+            best = max(best, cut_bound_term(network, traffic, cut))
+        return best
+    total = traffic.total
+    if total == 0.0:
+        return 0.0
+    num_nodes = network.num_nodes
+    matrix = traffic.as_array().astype(float)
+    live = [link for link in network.links if not network.is_failed(link.index)]
+    src = np.array([link.src for link in live], dtype=np.int64)
+    dst = np.array([link.dst for link in live], dtype=np.int64)
+    caps = np.array([link.capacity for link in live], dtype=float)
+    # One representative per complement pair: every subset containing node 0
+    # except the full node set.  The bound term is complement-symmetric, so
+    # the maximum over these equals the maximum over all proper cuts.
+    all_masks = np.arange((1 << (num_nodes - 1)) - 1, dtype=np.int64) * 2 + 1
+    node_bits = np.arange(num_nodes, dtype=np.int64)
     best = 0.0
-    for cut in _proper_subsets(network.num_nodes):
-        best = max(best, cut_bound_term(network, traffic, cut))
+    for start in range(0, all_masks.size, _CUT_BLOCK):
+        masks = all_masks[start : start + _CUT_BLOCK]
+        inside = ((masks[:, np.newaxis] >> node_bits) & 1).astype(float)
+        outside = 1.0 - inside
+        row_sums = inside @ matrix  # (cuts, nodes): traffic from S to each node
+        t_out = (row_sums * outside).sum(axis=1)
+        col_sums = inside @ matrix.T
+        t_in = (col_sums * outside).sum(axis=1)
+        c_out = (inside[:, src] * outside[:, dst]) @ caps
+        c_in = (outside[:, src] * inside[:, dst]) @ caps
+        loads = np.concatenate([t_out, t_in])
+        cut_caps = np.concatenate([c_out, c_in]).astype(np.int64)
+        blocking = np.empty(loads.size)
+        for capacity in np.unique(cut_caps):
+            group = cut_caps == capacity
+            blocking[group] = shared_erlang_table.blocking_batch(
+                loads[group], int(capacity)
+            )
+        terms = np.where(loads > 0.0, (loads / total) * blocking, 0.0)
+        block_best = (terms[: masks.size] + terms[masks.size :]).max()
+        best = max(best, float(block_best))
     return best
 
 

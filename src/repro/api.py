@@ -1,0 +1,254 @@
+"""Stable high-level façade over the reproduction's moving parts.
+
+Most studies need the same wiring: pick a topology, pick a traffic matrix,
+enumerate the path table, build one of the paper's routing policies, and run
+the call-by-call simulator over one or many seeds.  The deep modules expose
+every knob for that pipeline; this module exposes the pipeline itself.
+
+:class:`Scenario` names the ingredients declaratively (strings for the
+built-in topologies/traffic, or concrete objects for custom studies),
+:func:`run_scenario` simulates a single seed, and :func:`run_study` runs the
+paper's multi-seed replication protocol (optionally in parallel, optionally
+for several policies on common random numbers).
+
+The deep imports remain public and stable — this façade only composes them::
+
+    from repro.api import Scenario, run_scenario, run_study
+
+    result = run_scenario(Scenario(), seed=0)
+    print(result.network_blocking)
+
+    study = run_study(Scenario(policy="uncontrolled"), parallel=True)
+    print(study.stat.mean, study.stat.half_width)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import cached_property
+from typing import Mapping
+
+from .experiments.runner import (
+    PAPER_CONFIG,
+    ReplicationConfig,
+    ReplicationOutcome,
+    run_replications_detailed,
+)
+from .routing.alternate import (
+    ControlledAlternateRouting,
+    LengthAdaptiveControlledRouting,
+    UncontrolledAlternateRouting,
+)
+from .routing.base import RoutingPolicy
+from .routing.shadow import OttKrishnanRouting
+from .routing.single_path import SinglePathRouting
+from .sim.metrics import SimulationResult, SweepStatistic
+from .sim.simulator import simulate
+from .sim.trace import generate_trace
+from .topology.generators import quadrangle
+from .topology.graph import Network
+from .topology.nsfnet import nsfnet_backbone
+from .topology.paths import PathTable, build_path_table
+from .traffic.calibration import nsfnet_nominal_traffic
+from .traffic.demand import primary_link_loads
+from .traffic.generators import uniform_traffic
+from .traffic.matrix import TrafficMatrix
+
+__all__ = ["Scenario", "StudyResult", "run_scenario", "run_study"]
+
+
+_TOPOLOGIES = {
+    "nsfnet": nsfnet_backbone,
+    "quadrangle": quadrangle,
+}
+
+_POLICIES = ("single-path", "uncontrolled", "controlled", "length-adaptive",
+             "ott-krishnan")
+
+
+def _resolve_network(spec: Network | str) -> Network:
+    if isinstance(spec, Network):
+        return spec
+    try:
+        return _TOPOLOGIES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {spec!r}; use one of {sorted(_TOPOLOGIES)} "
+            "or pass a Network"
+        ) from None
+
+
+def _resolve_traffic(spec: TrafficMatrix | str | float, network: Network,
+                     topology_spec) -> TrafficMatrix:
+    if isinstance(spec, TrafficMatrix):
+        return spec
+    if isinstance(spec, (int, float)):
+        return uniform_traffic(network.num_nodes, float(spec))
+    if spec == "nominal":
+        if topology_spec != "nsfnet":
+            raise ValueError(
+                'traffic="nominal" is the calibrated NSFNet matrix; for other '
+                "networks pass a TrafficMatrix or a per-pair Erlang value"
+            )
+        return nsfnet_nominal_traffic()
+    raise ValueError(
+        f"unknown traffic {spec!r}; use 'nominal', a per-pair Erlang value, "
+        "or a TrafficMatrix"
+    )
+
+
+@dataclass(frozen=True, kw_only=True)
+class Scenario:
+    """One named experiment: topology + traffic + routing policy.
+
+    Defaults reproduce the paper's headline setting — the NSFNet backbone
+    under the calibrated nominal traffic, routed by the controlled
+    alternate-routing scheme.  All fields are keyword-only.
+
+    ``topology``
+        ``"nsfnet"``, ``"quadrangle"``, or any :class:`Network`.
+    ``traffic``
+        ``"nominal"`` (NSFNet only), a per-pair Erlang value for a uniform
+        matrix, or any :class:`TrafficMatrix`.  ``load_scale`` multiplies
+        whatever matrix results.
+    ``policy``
+        One of ``single-path``, ``uncontrolled``, ``controlled``,
+        ``length-adaptive``, ``ott-krishnan``.
+    ``max_hops``
+        The paper's ``H`` (alternate-path hop cap); ``None`` = unrestricted.
+    """
+
+    topology: Network | str = "nsfnet"
+    traffic: TrafficMatrix | str | float = "nominal"
+    policy: str = "controlled"
+    max_hops: int | None = None
+    load_scale: float = 1.0
+
+    def __post_init__(self):
+        if self.policy not in _POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; use one of {list(_POLICIES)}"
+            )
+        if self.load_scale <= 0:
+            raise ValueError("load_scale must be positive")
+
+    @cached_property
+    def network(self) -> Network:
+        """The resolved topology (built once, then cached)."""
+        return _resolve_network(self.topology)
+
+    @cached_property
+    def traffic_matrix(self) -> TrafficMatrix:
+        """The resolved traffic matrix, with ``load_scale`` applied."""
+        matrix = _resolve_traffic(self.traffic, self.network, self.topology)
+        return matrix if self.load_scale == 1.0 else matrix.scaled(self.load_scale)
+
+    @cached_property
+    def path_table(self) -> PathTable:
+        """Primary + alternate path enumeration under ``max_hops``."""
+        return build_path_table(self.network, max_hops=self.max_hops)
+
+    def build_policy(self, name: str | None = None) -> RoutingPolicy:
+        """Construct the routing policy (by default the scenario's own)."""
+        name = self.policy if name is None else name
+        network, table = self.network, self.path_table
+        if name == "single-path":
+            return SinglePathRouting(network, table)
+        if name == "uncontrolled":
+            return UncontrolledAlternateRouting(network, table)
+        loads = primary_link_loads(network, table, self.traffic_matrix)
+        if name == "controlled":
+            return ControlledAlternateRouting(network, table, loads)
+        if name == "length-adaptive":
+            return LengthAdaptiveControlledRouting(network, table, loads)
+        if name == "ott-krishnan":
+            return OttKrishnanRouting(network, table, loads)
+        raise ValueError(f"unknown policy {name!r}; use one of {list(_POLICIES)}")
+
+    def with_policy(self, name: str) -> "Scenario":
+        """The same scenario under a different routing policy."""
+        return replace(self, policy=name)
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """What :func:`run_study` returns: per-policy replication outcomes."""
+
+    outcomes: Mapping[str, ReplicationOutcome]
+    config: ReplicationConfig
+
+    @property
+    def outcome(self) -> ReplicationOutcome:
+        """The sole outcome — only valid for single-policy studies."""
+        if len(self.outcomes) != 1:
+            raise ValueError(
+                f"study ran {len(self.outcomes)} policies; index .outcomes by name"
+            )
+        return next(iter(self.outcomes.values()))
+
+    @property
+    def stat(self) -> SweepStatistic:
+        """Aggregate network blocking of a single-policy study."""
+        return self.outcome.stat
+
+    def blocking(self) -> dict[str, SweepStatistic]:
+        """Per-policy aggregate network blocking."""
+        return {name: outcome.stat for name, outcome in self.outcomes.items()}
+
+
+def run_scenario(
+    scenario: Scenario,
+    *,
+    seed: int = 0,
+    duration: float = PAPER_CONFIG.duration,
+    warmup: float = PAPER_CONFIG.warmup,
+    reference: bool = False,
+) -> SimulationResult:
+    """Simulate one seed of a scenario; returns the full per-pair result.
+
+    ``duration`` is total simulated time including the ``warmup`` transient
+    (the paper's protocol: 110 units, first 10 discarded).  ``reference=True``
+    routes through the simulator's unvectorized reference loop — same
+    statistics, for validation.
+    """
+    trace = generate_trace(scenario.traffic_matrix, duration, seed)
+    return simulate(
+        scenario.network, scenario.build_policy(), trace, warmup,
+        reference=reference,
+    )
+
+
+def run_study(
+    scenario: Scenario,
+    *,
+    policies: tuple[str, ...] | None = None,
+    config: ReplicationConfig = PAPER_CONFIG,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    seed_timeout: float | None = None,
+    max_seed_retries: int = 1,
+) -> StudyResult:
+    """Run the paper's multi-seed replication protocol for a scenario.
+
+    By default runs the scenario's own policy over ``config.seeds``;
+    ``policies`` widens the study to several schemes on common random
+    numbers (identical traces per seed, the paper's comparison discipline).
+    ``parallel=True`` fans seeds over a process pool with the hardened
+    runner's timeout/retry/fallback machinery.
+    """
+    names = (scenario.policy,) if policies is None else tuple(policies)
+    traces = None
+    if not parallel:
+        traces = [
+            generate_trace(scenario.traffic_matrix, config.duration, seed)
+            for seed in config.seeds
+        ]
+    outcomes: dict[str, ReplicationOutcome] = {}
+    for name in names:
+        outcomes[name] = run_replications_detailed(
+            scenario.network, scenario.build_policy(name),
+            scenario.traffic_matrix, config,
+            traces=traces, parallel=parallel, max_workers=max_workers,
+            seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
+        )
+    return StudyResult(outcomes=outcomes, config=config)

@@ -21,6 +21,7 @@ user-supplied networks::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -176,6 +177,25 @@ def _cmd_dynamic_failures(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         message = exc.args[0] if exc.args else str(exc)
         raise SystemExit(f"dynamic-failures: {message}")
+    if args.json:
+        from .experiments.storage import statistic_to_dict
+
+        print(json.dumps({
+            "schema": "repro-dynamic-failures-v1",
+            "load_scale": args.load_scale,
+            "link": list(args.link),
+            "reconvergence_delay": args.reconvergence,
+            "policies": {
+                name: {
+                    "blocking": statistic_to_dict(r.blocking),
+                    "drop_rate": statistic_to_dict(r.drop_rate),
+                    "availability": statistic_to_dict(r.availability),
+                    "time_to_recover": statistic_to_dict(r.time_to_recover),
+                }
+                for name, r in reports.items()
+            },
+        }, indent=2, sort_keys=True))
+        return 0
     print(
         f"Dynamic failure: NSFNet x{args.load_scale:g}, link "
         f"{args.link[0]}<->{args.link[1]} fails mid-run, reconvergence "
@@ -195,9 +215,13 @@ def _cmd_dynamic_failures(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    from .experiments.registry import run_experiment
+    from .experiments.registry import run_experiment, run_experiment_json
 
-    print(run_experiment(args.id, _config(args)))
+    if args.json:
+        print(json.dumps(run_experiment_json(args.id, _config(args)),
+                         indent=2, sort_keys=True))
+    else:
+        print(run_experiment(args.id, _config(args)))
     return 0
 
 
@@ -241,6 +265,28 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         "length-adaptive": LengthAdaptiveControlledRouting(network, table, loads),
     }
     stats = compare_policies(network, policies, traffic, _config(args))
+    controlled = policies["controlled"]
+    protected = int(np.count_nonzero(controlled.protection_levels))
+    bound = (
+        float(erlang_bound(network, traffic)) if network.num_nodes <= 16 else None
+    )
+    if args.json:
+        from .experiments.storage import statistic_to_dict
+
+        print(json.dumps({
+            "schema": "repro-evaluate-v1",
+            "network": {
+                "num_nodes": network.num_nodes,
+                "num_links": network.num_links,
+                "offered_erlangs": traffic.total,
+            },
+            "policies": {
+                name: statistic_to_dict(stat) for name, stat in stats.items()
+            },
+            "erlang_bound": bound,
+            "protected_links": protected,
+        }, indent=2, sort_keys=True))
+        return 0
     print(
         f"{network.num_nodes} nodes, {network.num_links} directed links, "
         f"{traffic.total:.1f} Erlangs offered"
@@ -251,10 +297,8 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             [[name, stat.mean, stat.half_width] for name, stat in stats.items()],
         )
     )
-    if network.num_nodes <= 16:
-        print(f"Erlang cut-set lower bound: {erlang_bound(network, traffic):.6f}")
-    controlled = policies["controlled"]
-    protected = int(np.count_nonzero(controlled.protection_levels))
+    if bound is not None:
+        print(f"Erlang cut-set lower bound: {bound:.6f}")
     print(f"protection: {protected}/{network.num_links} links with r > 0")
     return 0
 
@@ -332,12 +376,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--reconvergence", type=float, default=2.0,
         help="delay before policies rebuild after a topology change",
     )
+    dynfail.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
     dynfail.set_defaults(func=_cmd_dynamic_failures)
 
     exp = sub.add_parser("experiment", help="regenerate one registered experiment")
     exp.add_argument("id", help="experiment id from DESIGN.md (e.g. FIG3, TAB1)")
     exp.add_argument("--seeds", type=int, default=10)
     exp.add_argument("--duration", type=float, default=100.0)
+    exp.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     exp.set_defaults(func=_cmd_experiment)
 
     lister = sub.add_parser("list", help="list registered experiments")
@@ -351,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--hops", type=int, default=None, help="alternate hop cap H")
     evaluate.add_argument("--seeds", type=int, default=10)
     evaluate.add_argument("--duration", type=float, default=100.0)
+    evaluate.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     report = sub.add_parser("report", help="regenerate every experiment into one report")

@@ -23,11 +23,12 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from .erlang import log_erlang_b_inverse_sequence
+from .erlang import shared_erlang_table
 
 __all__ = [
     "displacement_bound",
     "min_protection_level",
+    "min_protection_level_grid",
     "protection_levels",
     "figure2_curve",
 ]
@@ -50,7 +51,7 @@ def displacement_bound(load: float, capacity: int, protection: int) -> float:
         # B(0, C) = 0 for C >= 1, so the ratio is 0 (a zero-capacity link
         # blocks everything and the ratio degenerates to 1).
         return 1.0 if capacity == 0 else 0.0
-    log_y = log_erlang_b_inverse_sequence(load, capacity)
+    log_y = shared_erlang_table.log_inverse_sequence(load, capacity)
     # B(load, C) / B(load, C - r) = y_{C-r} / y_C.
     return float(math.exp(log_y[capacity - protection] - log_y[capacity]))
 
@@ -76,14 +77,55 @@ def min_protection_level(load: float, capacity: int, max_hops: int) -> int:
     if load == 0.0:
         return 0
     # bound(r) = y_{C-r} / y_C in the inverse-blocking sequence; log y is
-    # increasing in the index, so the bound is non-increasing in r.  Find
-    # the first r meeting log(bound) <= -log(max_hops).
-    log_y = log_erlang_b_inverse_sequence(load, capacity)
+    # increasing in the index, so the bound is non-increasing in r.  The
+    # first r meeting log(bound) <= -log(max_hops) corresponds to the
+    # *largest* index with log y <= log y_C - log(max_hops), so a binary
+    # search over the (cached) monotone sequence replaces the linear walk.
+    log_y = shared_erlang_table.log_inverse_sequence(load, capacity)
     threshold = log_y[capacity] - math.log(float(max_hops))
-    for r in range(0, capacity + 1):
-        if log_y[capacity - r] <= threshold + 1e-15:
-            return r
-    return capacity
+    index = int(np.searchsorted(log_y, threshold + 1e-15, side="right")) - 1
+    if index < 0:
+        return capacity
+    return capacity - index
+
+
+def min_protection_level_grid(
+    loads: Sequence[float] | np.ndarray, capacity: int, max_hops: int
+) -> np.ndarray:
+    """Vectorized :func:`min_protection_level` over a grid of primary loads.
+
+    Runs the log-space inverse-blocking recursion for the whole load grid at
+    once (one ``logaddexp`` sweep per capacity step instead of one full
+    recursion per load) and resolves each load's minimal ``r`` by binary
+    search over its monotone sequence.  The per-load logs are taken with
+    ``math.log`` so every sequence entry matches the scalar recursion bit for
+    bit, and with it the returned integer levels.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be >= 1")
+    if max_hops < 1:
+        raise ValueError("max_hops must be >= 1")
+    load_arr = np.asarray(loads, dtype=float)
+    if load_arr.ndim != 1:
+        raise ValueError("loads must be one-dimensional")
+    if load_arr.size and ((load_arr < 0).any() or np.isnan(load_arr).any()):
+        raise ValueError("loads must be non-negative")
+    levels = np.zeros(load_arr.size, dtype=np.int64)
+    positive = load_arr > 0.0
+    if not positive.any():
+        return levels
+    grid = load_arr[positive]
+    log_loads = np.array([math.log(value) for value in grid])
+    log_y = np.zeros((grid.size, capacity + 1))
+    for x in range(1, capacity + 1):
+        log_y[:, x] = np.logaddexp(0.0, math.log(x) - log_loads + log_y[:, x - 1])
+    thresholds = log_y[:, capacity] - math.log(float(max_hops)) + 1e-15
+    found = np.empty(grid.size, dtype=np.int64)
+    for row in range(grid.size):
+        index = int(np.searchsorted(log_y[row], thresholds[row], side="right")) - 1
+        found[row] = capacity if index < 0 else capacity - index
+    levels[positive] = found
+    return levels
 
 
 def protection_levels(
@@ -131,8 +173,5 @@ def figure2_curve(
     if loads is None:
         loads = np.arange(1.0, float(capacity) + 1.0)
     load_arr = np.asarray(list(loads), dtype=float)
-    r_arr = np.array(
-        [min_protection_level(load, capacity, max_hops) for load in load_arr],
-        dtype=int,
-    )
+    r_arr = min_protection_level_grid(load_arr, capacity, max_hops).astype(int)
     return load_arr, r_arr

@@ -21,17 +21,31 @@ from .report import format_sweep, format_table, format_table1
 from .runner import PAPER_CONFIG, ReplicationConfig
 from .tables import regenerate_table1, table1_agreement
 
-__all__ = ["Experiment", "EXPERIMENTS", "run_experiment", "list_experiments", "run_all"]
+__all__ = [
+    "Experiment",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiment_json",
+    "list_experiments",
+    "run_all",
+]
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One reproducible artifact: id, description, and regeneration logic."""
+    """One reproducible artifact: id, description, and regeneration logic.
+
+    ``run`` renders the printable report; ``data``, where provided, computes
+    the same artifact as a JSON-ready dict for machine consumption (the
+    CLI's ``experiment --json``).  Experiments without a ``data`` callable
+    fall back to shipping the rendered report inside the JSON envelope.
+    """
 
     id: str
     title: str
     bench: str
     run: Callable[[ReplicationConfig], str]
+    data: Callable[[ReplicationConfig], dict] | None = None
 
 
 def _fig2(config: ReplicationConfig) -> str:
@@ -231,6 +245,75 @@ def _dynamic_failures(config: ReplicationConfig) -> str:
     )
 
 
+def _sweep_data(points, config: ReplicationConfig, title: str) -> dict:
+    from .storage import sweep_document
+
+    return sweep_document(points, config, title)
+
+
+def _fig3_data(config: ReplicationConfig) -> dict:
+    return _sweep_data(
+        quadrangle_sweep(config=config), config,
+        "Figures 3/4: quadrangle blocking vs per-pair load",
+    )
+
+
+def _fig6_data(config: ReplicationConfig) -> dict:
+    return _sweep_data(
+        nsfnet_sweep(config=config), config,
+        "Figures 6/7: NSFNet blocking vs load (nominal=10), H=11",
+    )
+
+
+def _h6_data(config: ReplicationConfig) -> dict:
+    return _sweep_data(
+        nsfnet_sweep(max_hops=6, config=config), config,
+        "Section 4.2.2: NSFNet with H=6",
+    )
+
+
+def _ott_krishnan_data(config: ReplicationConfig) -> dict:
+    return _sweep_data(
+        nsfnet_sweep(load_values=(10.0, 12.0), config=config,
+                     include_ott_krishnan=True),
+        config, "Section 4.2: Ott-Krishnan comparator on NSFNet",
+    )
+
+
+def _tab1_data(config: ReplicationConfig) -> dict:
+    rows = regenerate_table1()
+    agreement = table1_agreement(rows)
+    return {
+        "rows": [
+            {
+                "link": list(row.link), "capacity": row.capacity,
+                "load": row.load, "paper_load": row.paper_load,
+                "r_h6": row.r_h6, "paper_r_h6": row.paper_r_h6,
+                "r_h11": row.r_h11, "paper_r_h11": row.paper_r_h11,
+            }
+            for row in rows
+        ],
+        "agreement": agreement,
+    }
+
+
+def _dynamic_failures_data(config: ReplicationConfig) -> dict:
+    from .storage import statistic_to_dict
+
+    reports = dynamic_failure_comparison(config=config)
+    return {
+        "policies": {
+            name: {
+                "blocking": statistic_to_dict(r.blocking),
+                "drop_rate": statistic_to_dict(r.drop_rate),
+                "availability": statistic_to_dict(r.availability),
+                "time_to_recover": statistic_to_dict(r.time_to_recover),
+            }
+            for name, r in reports.items()
+        }
+    }
+
+
 def _general_mesh(config: ReplicationConfig) -> str:
     outcome = general_mesh_comparison(config)
     rows = [
@@ -249,19 +332,20 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("FIG2", "protection level vs primary load",
                    "bench_fig2_protection_levels.py", _fig2),
         Experiment("TAB1", "NSFNet loads and protection levels",
-                   "bench_table1_protection_levels.py", _tab1),
+                   "bench_table1_protection_levels.py", _tab1, _tab1_data),
         Experiment("FIG3", "quadrangle blocking sweep (also Figure 4)",
-                   "bench_fig3_quadrangle.py", _fig3),
+                   "bench_fig3_quadrangle.py", _fig3, _fig3_data),
         Experiment("FIG6", "NSFNet blocking sweep, H=11 (also Figure 7)",
-                   "bench_fig6_nsfnet.py", _fig6),
+                   "bench_fig6_nsfnet.py", _fig6, _fig6_data),
         Experiment("EXP-H6", "NSFNet blocking sweep, H=6",
-                   "bench_h6_restriction.py", _h6),
+                   "bench_h6_restriction.py", _h6, _h6_data),
         Experiment("EXP-OK", "Ott-Krishnan shadow-price comparator",
-                   "bench_ott_krishnan.py", _ott_krishnan),
+                   "bench_ott_krishnan.py", _ott_krishnan, _ott_krishnan_data),
         Experiment("EXP-FAIL", "link failures preserve the ordering",
                    "bench_link_failures.py", _failures),
         Experiment("EXP-DYNFAIL", "mid-run link failure, drop and recovery",
-                   "bench_dynamic_failures.py", _dynamic_failures),
+                   "bench_dynamic_failures.py", _dynamic_failures,
+                   _dynamic_failures_data),
         Experiment("EXP-FAIR", "per-O-D blocking skew",
                    "bench_fairness_skew.py", _fairness),
         Experiment("EXP-MINLOSS", "min-link-loss primary paths",
@@ -300,6 +384,40 @@ def run_experiment(
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
     return EXPERIMENTS[key].run(config)
+
+
+def run_experiment_json(
+    experiment_id: str, config: ReplicationConfig = PAPER_CONFIG
+) -> dict:
+    """Regenerate one experiment as a JSON-ready document.
+
+    Experiments with a structured ``data`` callable return their numbers
+    under ``"data"``; the rest carry the rendered report under ``"report"``
+    so the envelope is uniform either way.
+    """
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    experiment = EXPERIMENTS[key]
+    document = {
+        "schema": "repro-experiment-v1",
+        "id": experiment.id,
+        "title": experiment.title,
+        "bench": experiment.bench,
+        "config": {
+            "measured_duration": config.measured_duration,
+            "warmup": config.warmup,
+            "seeds": list(config.seeds),
+        },
+        "data": None,
+        "report": None,
+    }
+    if experiment.data is not None:
+        document["data"] = experiment.data(config)
+    else:
+        document["report"] = experiment.run(config)
+    return document
 
 
 def run_all(config: ReplicationConfig = PAPER_CONFIG) -> str:

@@ -25,6 +25,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
+from .._compat import positional_shim
 from ..routing.base import RoutingPolicy
 from ..sim.metrics import SimulationResult, SweepStatistic, aggregate
 from ..sim.simulator import simulate
@@ -50,9 +51,33 @@ def _replication_worker(payload) -> SimulationResult:
     return simulate(network, policy, trace, warmup)
 
 
-@dataclass(frozen=True)
+#: Per-worker-process shared replication context, installed once by the pool
+#: initializer.  The network (with its path enumeration), the compiled policy
+#: (choices, thresholds, protection tables) and the traffic matrix are pickled
+#: once per worker instead of once per seed; payloads shrink to bare seeds.
+_WORKER_CONTEXT: dict[str, tuple] = {}
+
+
+def _install_worker_context(network, policy, traffic, duration, warmup) -> None:
+    """Pool initializer: stash the shared (network, policy, ...) context."""
+    _WORKER_CONTEXT["shared"] = (network, policy, traffic, duration, warmup)
+
+
+def _shared_context_worker(seed: int) -> SimulationResult:
+    """Run one seed against the worker-process shared context."""
+    network, policy, traffic, duration, warmup = _WORKER_CONTEXT["shared"]
+    trace = generate_trace(traffic, duration, seed)
+    return simulate(network, policy, trace, warmup)
+
+
+@positional_shim
+@dataclass(frozen=True, kw_only=True)
 class ReplicationConfig:
-    """Replication parameters; defaults reproduce the paper's setup."""
+    """Replication parameters; defaults reproduce the paper's setup.
+
+    Keyword-only: construct as ``ReplicationConfig(measured_duration=...)``.
+    Positional construction still works but is deprecated.
+    """
 
     measured_duration: float = 100.0
     warmup: float = 10.0
@@ -158,13 +183,17 @@ def _run_payloads_parallel(
     seed_timeout: float | None,
     max_seed_retries: int,
     max_workers: int | None,
+    initializer: Callable | None = None,
+    initargs: tuple = (),
 ) -> tuple[dict[int, SimulationResult], dict[int, SeedStatus], bool]:
     """Fan payloads over a process pool with timeouts, retries and fallback."""
     statuses = {i: SeedStatus(seed=seeds[i]) for i in range(len(payloads))}
     results: dict[int, SimulationResult] = {}
     remaining = list(range(len(payloads)))
     pool_broken = False
-    pool = ProcessPoolExecutor(max_workers=max_workers)
+    pool = ProcessPoolExecutor(
+        max_workers=max_workers, initializer=initializer, initargs=initargs
+    )
     try:
         while remaining:
             futures = {index: pool.submit(worker, payloads[index]) for index in remaining}
@@ -206,6 +235,11 @@ def _run_payloads_parallel(
                     except Exception:  # noqa: BLE001
                         pass
                 unfinished = [i for i in futures if not statuses[i].completed]
+                if initializer is not None:
+                    # The serial fallback runs in this process, which never
+                    # went through the pool initializer — install the shared
+                    # context here before the worker needs it.
+                    initializer(*initargs)
                 _run_payloads_serial(
                     payloads, worker, statuses, results,
                     unfinished, max_seed_retries, fallback=True,
@@ -213,7 +247,9 @@ def _run_payloads_parallel(
                 break
             if recycle:
                 pool.shutdown(wait=False, cancel_futures=True)
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers, initializer=initializer, initargs=initargs
+                )
             remaining = next_round
     finally:
         pool.shutdown(wait=False, cancel_futures=True)
@@ -249,13 +285,29 @@ def run_replications_detailed(
     *every* seed failed (then ``RuntimeError``).
     """
     if parallel and traces is None:
-        payloads = [
-            (network, policy, traffic, config.duration, config.warmup, seed)
-            for seed in config.seeds
-        ]
-        results_map, statuses_map, pool_broken = _run_payloads_parallel(
-            payloads, worker, config.seeds, seed_timeout, max_seed_retries, max_workers
-        )
+        if worker is _replication_worker:
+            # Default worker: ship the shared (network, policy, traffic)
+            # context once per worker process via the pool initializer, so
+            # the topology's path enumeration and the policy's protection
+            # tables are pickled per worker rather than per seed.  Payloads
+            # shrink to bare seed integers.
+            payloads = list(config.seeds)
+            results_map, statuses_map, pool_broken = _run_payloads_parallel(
+                payloads, _shared_context_worker, config.seeds,
+                seed_timeout, max_seed_retries, max_workers,
+                initializer=_install_worker_context,
+                initargs=(network, policy, traffic, config.duration, config.warmup),
+            )
+        else:
+            # Injected worker (tests, custom pipelines): keep the historical
+            # self-contained payload tuples.
+            payloads = [
+                (network, policy, traffic, config.duration, config.warmup, seed)
+                for seed in config.seeds
+            ]
+            results_map, statuses_map, pool_broken = _run_payloads_parallel(
+                payloads, worker, config.seeds, seed_timeout, max_seed_retries, max_workers
+            )
     else:
         if traces is None:
             traces = [

@@ -15,12 +15,13 @@ from typing import Sequence
 from ..sim.metrics import SweepStatistic
 from .runner import ReplicationConfig, SweepPoint
 
-__all__ = ["save_sweep", "load_sweep"]
+__all__ = ["save_sweep", "load_sweep", "sweep_document", "statistic_to_dict"]
 
 _SCHEMA = "repro-sweep-v1"
 
 
-def _statistic_to_dict(stat: SweepStatistic) -> dict:
+def statistic_to_dict(stat: SweepStatistic) -> dict:
+    """JSON-ready form of one aggregate statistic."""
     return {
         "mean": stat.mean,
         "std": stat.std,
@@ -40,14 +41,13 @@ def _statistic_from_dict(data: dict) -> SweepStatistic:
     )
 
 
-def save_sweep(
-    path: str | Path,
+def sweep_document(
     points: Sequence[SweepPoint],
     config: ReplicationConfig | None = None,
     title: str = "",
-) -> None:
-    """Write a sweep to ``path`` as JSON (parents must exist)."""
-    document = {
+) -> dict:
+    """The JSON document form of a sweep (what :func:`save_sweep` writes)."""
+    return {
         "schema": _SCHEMA,
         "title": title,
         "config": None
@@ -62,13 +62,23 @@ def save_sweep(
                 "load": point.load,
                 "erlang_bound": point.erlang_bound,
                 "blocking": {
-                    name: _statistic_to_dict(stat)
+                    name: statistic_to_dict(stat)
                     for name, stat in point.blocking.items()
                 },
             }
             for point in points
         ],
     }
+
+
+def save_sweep(
+    path: str | Path,
+    points: Sequence[SweepPoint],
+    config: ReplicationConfig | None = None,
+    title: str = "",
+) -> None:
+    """Write a sweep to ``path`` as JSON (parents must exist)."""
+    document = sweep_document(points, config, title)
     Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
 
 

@@ -31,9 +31,15 @@ from ..topology.paths import Path, PathTable
 __all__ = ["RouteChoice", "RoutingPolicy", "compile_route_choices"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RouteChoice:
-    """One primary path and its ordered alternates, as link-index tuples."""
+    """One primary path and its ordered alternates, as link-index tuples.
+
+    Slotted: the simulator materializes one of these per O-D pair per
+    policy compilation and reads ``primary``/``alternates`` on every call,
+    so the fixed layout keeps the per-call record small and the attribute
+    loads cheap.
+    """
 
     primary: tuple[int, ...]
     alternates: tuple[tuple[int, ...], ...]

@@ -24,6 +24,19 @@ The simulator is deliberately a tight, allocation-light loop: occupancies
 live in a plain list, departures in a heap of
 ``(time, path, width, pair, measured)`` entries.
 
+Two loops implement the semantics.  The *general* loop handles every
+feature (faults, binned timelines, multi-class traces, bandwidths, link
+statistics, all disciplines) and doubles as the reference implementation.
+The *fast* loop specializes the common benchmark/replication shape —
+threshold discipline, unit bandwidth, no faults, no timeline — with
+per-pair route entries precompiled to bare ``(primary, alternates)`` tuple
+pairs, admission inlined into the call loop, and the trace consumed through
+a single ``zip``.  Both loops execute the identical admission decisions in
+the identical order, so every counter in the result (blocking, carried
+splits, drops) is bit-identical for a fixed seed; ``run(reference=True)``
+forces the general loop (the equivalence tests and perf benchmarks compare
+the two).
+
 Dynamic faults (beyond the paper's static Section-4.2.2 scenarios): a
 :class:`~repro.sim.faultplane.FaultTimeline` makes links fail and recover
 *mid-run*.  When a link goes down, calls holding circuits on it are severed
@@ -40,6 +53,7 @@ measure.
 from __future__ import annotations
 
 import heapq
+from itertools import repeat
 from typing import Callable, Sequence
 
 import numpy as np
@@ -54,6 +68,9 @@ __all__ = ["LossNetworkSimulator", "simulate"]
 
 _REVENUE_EPS = 1e-12
 _INFINITY = float("inf")
+#: Stand-in uniform column for traces whose pairs are all deterministic —
+#: the fast loop's zip never consumes a real variate then.
+_ZEROS = repeat(0.0)
 
 
 class LossNetworkSimulator:
@@ -134,7 +151,206 @@ class LossNetworkSimulator:
         else:
             self.initial_occupancy = None
 
-    def run(self) -> SimulationResult:
+    def run(self, reference: bool = False) -> SimulationResult:
+        """Run the simulation; ``reference=True`` forces the general loop.
+
+        The fast loop is used automatically when the configuration fits its
+        specialization (threshold discipline, unit bandwidth, single-class
+        trace, no faults, no timeline bins, no link statistics); it makes
+        the identical admission decisions in the identical order, so the
+        returned statistics are bit-identical either way.
+        """
+        if not reference and self._fast_eligible():
+            return self._run_fast()
+        return self._run_general()
+
+    def _fast_eligible(self) -> bool:
+        trace = self.trace
+        return (
+            self.faults is None
+            and self.timeline_bin is None
+            and not self.collect_link_stats
+            and trace.bandwidths is None
+            and trace.class_index is None
+            and self.policy.discipline == "threshold"
+        )
+
+    def _run_fast(self) -> SimulationResult:
+        """Specialized hot loop; see :meth:`run` for the eligibility rules.
+
+        The trace is consumed in two phases split at the warmup boundary
+        (arrival times are non-decreasing), so the measured loop carries no
+        per-call warmup test and the warmup loop no counters; ``offered`` is
+        a single ``bincount`` over the measured arrivals.
+
+        There is no departure heap.  Every candidate departure time is known
+        up front (``times + holding_times``), so one stable argsort yields
+        the global release order; the loop walks a pointer over it and
+        releases each admitted call's path from a per-call slot.  Blocked
+        calls leave their slot empty and are skipped.  A call whose slot is
+        still unwritten because its *arrival* has not been processed yet
+        (possible only when a holding time is exactly zero) stops the walk —
+        the stable sort orders equal departure times by call index, so every
+        already-admitted release at that timestamp has been handled by then,
+        which keeps occupancy, and with it every admission decision,
+        bit-identical to the reference heap.
+        """
+        trace = self.trace
+        num_links = self.network.num_links
+        capacities = self.network.capacities().tolist()
+        num_pairs = len(trace.od_pairs)
+        num_calls = len(trace.times)
+        warmup = self.warmup
+
+        occupancy = [0] * num_links
+        dep_times = trace.times + trace.holding_times
+        admitted: list[tuple[int, ...] | None] = [None] * num_calls
+        if self.initial_occupancy is not None:
+            from .rng import substream
+
+            warm_rng = substream(trace.seed, "warm-start")
+            warm_times = []
+            for link_index, count in enumerate(self.initial_occupancy):
+                for __ in range(int(count)):
+                    occupancy[link_index] += 1
+                    warm_times.append(float(warm_rng.exponential(1.0)))
+                    admitted.append((link_index,))
+            dep_times = np.concatenate([dep_times, np.asarray(warm_times)])
+        order = np.argsort(dep_times, kind="stable")
+        dep_sorted = dep_times[order].tolist()
+        dep_index = order.tolist()
+        total_deps = len(dep_index)
+        blocked = [0] * num_pairs
+        primary_carried = 0
+        alternate_carried = 0
+
+        policy = self.policy
+        if policy.alt_thresholds is None:
+            raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+        thresholds = [int(t) for t in policy.alt_thresholds]
+        # Per-pair precompiled entries: deterministic pairs carry a bare
+        # (primary, alternates) tuple; bifurcated pairs carry the candidate
+        # entries plus the cumulative probabilities consulted per call.
+        single_entry: list[tuple | None] = []
+        multi: list[tuple | None] = []
+        for od in trace.od_pairs:
+            options = policy.choices.get(od, ())
+            if len(options) == 1:
+                single_entry.append((options[0].primary, options[0].alternates))
+                multi.append(None)
+            elif len(options) == 0:
+                single_entry.append(None)
+                multi.append(None)
+            else:
+                single_entry.append(None)
+                multi.append(
+                    (
+                        [(c.primary, c.alternates) for c in options],
+                        policy.cum_probs[od].tolist(),
+                    )
+                )
+        has_multi = any(entry is not None for entry in multi)
+
+        warm_count = int(np.searchsorted(trace.times, warmup, side="left"))
+        times = trace.times.tolist()
+        od_index = trace.od_index.tolist()
+        holding = trace.holding_times.tolist()
+        uniforms = trace.uniforms.tolist() if has_multi else None
+
+        ptr = 0
+        call_i = 0
+        for phase in (0, 1):
+            section = (
+                slice(0, warm_count) if phase == 0
+                else slice(warm_count, num_calls)
+            )
+            counted = phase == 1
+            if has_multi:
+                rows = zip(
+                    times[section], od_index[section],
+                    holding[section], uniforms[section],
+                )
+            else:
+                rows = zip(
+                    times[section], od_index[section],
+                    holding[section], _ZEROS,
+                )
+            for now, pair, hold, u in rows:
+                while ptr < total_deps and dep_sorted[ptr] <= now:
+                    j = dep_index[ptr]
+                    if call_i <= j < num_calls:
+                        break  # that call's arrival is still ahead of us
+                    path = admitted[j]
+                    ptr += 1
+                    if path is not None:
+                        for link in path:
+                            occupancy[link] -= 1
+                entry = single_entry[pair]
+                if entry is None:
+                    options = multi[pair]
+                    if options is None:
+                        # Disconnected pair: the call is necessarily lost.
+                        if counted:
+                            blocked[pair] += 1
+                        call_i += 1
+                        continue
+                    route_options, cum = options
+                    pick = 0
+                    while pick < len(cum) - 1 and u >= cum[pick]:
+                        pick += 1
+                    entry = route_options[pick]
+                primary, alternates = entry
+                for link in primary:
+                    if occupancy[link] >= capacities[link]:
+                        break
+                else:
+                    for link in primary:
+                        occupancy[link] += 1
+                    admitted[call_i] = primary
+                    call_i += 1
+                    if counted:
+                        primary_carried += 1
+                    continue
+                path = None
+                for alt in alternates:
+                    for link in alt:
+                        if occupancy[link] >= thresholds[link]:
+                            break
+                    else:
+                        path = alt
+                        break
+                if path is None:
+                    if counted:
+                        blocked[pair] += 1
+                    call_i += 1
+                    continue
+                for link in path:
+                    occupancy[link] += 1
+                admitted[call_i] = path
+                call_i += 1
+                if counted:
+                    alternate_carried += 1
+
+        offered = np.bincount(
+            trace.od_index[warm_count:], minlength=num_pairs
+        ).astype(np.int64)
+        num_classes = len(trace.class_names)
+        return SimulationResult(
+            od_pairs=trace.od_pairs,
+            offered=offered,
+            blocked=np.asarray(blocked, dtype=np.int64),
+            primary_carried=primary_carried,
+            alternate_carried=alternate_carried,
+            warmup=warmup,
+            duration=trace.duration,
+            seed=trace.seed,
+            class_names=trace.class_names,
+            class_offered=np.zeros(num_classes, dtype=np.int64),
+            class_blocked=np.zeros(num_classes, dtype=np.int64),
+            dropped=None,
+        )
+
+    def _run_general(self) -> SimulationResult:
         trace = self.trace
         num_links = self.network.num_links
         capacities = self.network.capacities().tolist()
@@ -609,12 +825,15 @@ def simulate(
     reconvergence_delay: float = 0.0,
     rebuild_policy: Callable[[Network], RoutingPolicy] | None = None,
     timeline_bin: float | None = None,
+    reference: bool = False,
 ) -> SimulationResult:
     """Convenience wrapper: build and run a :class:`LossNetworkSimulator`.
 
     Every constructor knob is plumbed through, so link statistics, warm
     starts and the dynamic fault plane are all reachable without touching
-    the class directly.
+    the class directly.  ``reference=True`` forces the general loop even
+    when the fast loop's specialization applies (see
+    :meth:`LossNetworkSimulator.run`).
     """
     return LossNetworkSimulator(
         network,
@@ -627,4 +846,4 @@ def simulate(
         reconvergence_delay=reconvergence_delay,
         rebuild_policy=rebuild_policy,
         timeline_bin=timeline_bin,
-    ).run()
+    ).run(reference=reference)

@@ -40,16 +40,49 @@ class TestApiIndex:
 
 
 class TestReadmeQuickstart:
-    def test_quickstart_snippet_executes(self):
-        # Extract the first python code block of README.md and run it with a
-        # fast duration substituted, guarding the documented API surface.
+    @staticmethod
+    def _snippets(count: int) -> list[str]:
         readme = (REPO / "README.md").read_text()
-        start = readme.index("```python") + len("```python")
-        end = readme.index("```", start)
-        snippet = readme[start:end]
+        snippets, position = [], 0
+        for __ in range(count):
+            start = readme.index("```python", position) + len("```python")
+            end = readme.index("```", start)
+            snippets.append(readme[start:end])
+            position = end
+        return snippets
+
+    def test_facade_snippet_executes(self, monkeypatch):
+        # The first python block is the repro.api quickstart; it documents
+        # the paper's full replication protocol, so run it with a quick
+        # config patched into the façade entry points.
+        import repro
+        import repro.api
+        from repro.experiments.runner import ReplicationConfig
+
+        quick = ReplicationConfig(measured_duration=4.0, warmup=1.0, seeds=(0, 1))
+        run_scenario, run_study = repro.api.run_scenario, repro.api.run_study
+
+        def quick_scenario(scenario, **kwargs):
+            kwargs["duration"], kwargs["warmup"] = 5.0, 1.0
+            return run_scenario(scenario, **kwargs)
+
+        def quick_study(scenario, **kwargs):
+            kwargs.setdefault("config", quick)
+            return run_study(scenario, **kwargs)
+
+        for module in (repro, repro.api):
+            monkeypatch.setattr(module, "run_scenario", quick_scenario)
+            monkeypatch.setattr(module, "run_study", quick_study)
+        snippet = self._snippets(1)[0]
+        exec(compile(snippet, "<README facade quickstart>", "exec"), {})
+
+    def test_deep_import_snippet_executes(self):
+        # The second python block is the deep-module wiring; substitute a
+        # fast duration, guarding the documented API surface.
+        snippet = self._snippets(2)[1]
+        assert "duration=110.0" in snippet
         snippet = snippet.replace("duration=110.0", "duration=12.0")
-        namespace: dict = {}
-        exec(compile(snippet, "<README quickstart>", "exec"), namespace)
+        exec(compile(snippet, "<README quickstart>", "exec"), {})
 
     def test_readme_mentions_all_examples(self):
         readme = (REPO / "README.md").read_text()
