@@ -23,7 +23,7 @@ Quick tour (see README.md for the narrative)::
     print(result.network_blocking)
 """
 
-from .api import Scenario, StudyResult, run_scenario, run_study
+from .api import LabConfig, Scenario, StudyResult, run_scenario, run_study
 from .analysis import (
     FairnessReport,
     FixedPointResult,
@@ -83,6 +83,7 @@ __all__ = [
     # façade
     "Scenario",
     "StudyResult",
+    "LabConfig",
     "run_scenario",
     "run_study",
     # core

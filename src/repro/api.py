@@ -26,8 +26,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
+from .lab.config import LabConfig
 from .experiments.runner import (
     PAPER_CONFIG,
     ReplicationConfig,
@@ -54,7 +55,10 @@ from .traffic.demand import primary_link_loads
 from .traffic.generators import uniform_traffic
 from .traffic.matrix import TrafficMatrix
 
-__all__ = ["Scenario", "StudyResult", "run_scenario", "run_study"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .lab.scheduler import LabRunReport
+
+__all__ = ["Scenario", "StudyResult", "LabConfig", "run_scenario", "run_study"]
 
 
 _TOPOLOGIES = {
@@ -172,10 +176,16 @@ class Scenario:
 
 @dataclass(frozen=True)
 class StudyResult:
-    """What :func:`run_study` returns: per-policy replication outcomes."""
+    """What :func:`run_study` returns: per-policy replication outcomes.
+
+    ``lab`` is populated only for lab-orchestrated runs
+    (``run_study(..., lab=LabConfig(...))``): the pass's cache-hit /
+    simulation / telemetry report.
+    """
 
     outcomes: Mapping[str, ReplicationOutcome]
     config: ReplicationConfig
+    lab: "LabRunReport | None" = None
 
     @property
     def outcome(self) -> ReplicationOutcome:
@@ -227,6 +237,7 @@ def run_study(
     max_workers: int | None = None,
     seed_timeout: float | None = None,
     max_seed_retries: int = 1,
+    lab: LabConfig | None = None,
 ) -> StudyResult:
     """Run the paper's multi-seed replication protocol for a scenario.
 
@@ -235,7 +246,23 @@ def run_study(
     numbers (identical traces per seed, the paper's comparison discipline).
     ``parallel=True`` fans seeds over a process pool with the hardened
     runner's timeout/retry/fallback machinery.
+
+    ``lab=LabConfig(...)`` routes the study through :mod:`repro.lab`: each
+    ``(policy, seed)`` replication is looked up in a content-addressed
+    result store before simulating, finished jobs are checkpointed so an
+    interrupted study resumes where it stopped, and progress is logged as
+    JSONL telemetry.  The returned statistics are bit-identical to a direct
+    run; the pass's report rides along as ``StudyResult.lab``.
+    (``seed_timeout`` applies only to the direct path.)
     """
+    if lab is not None:
+        from .lab.scheduler import run_lab_study
+
+        return run_lab_study(
+            scenario, policies=policies, config=config, lab=lab,
+            parallel=parallel, max_workers=max_workers,
+            max_seed_retries=max_seed_retries,
+        )
     names = (scenario.policy,) if policies is None else tuple(policies)
     traces = None
     if not parallel:

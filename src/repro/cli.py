@@ -16,6 +16,16 @@ user-supplied networks::
     repro-routing bistability                # mean-field fixed points
     repro-routing theorem1                   # numeric bound verification
     repro-routing evaluate --network my.json --traffic demand.json
+
+The ``lab`` group orchestrates studies through the content-addressed result
+store (resumable, cached, with JSONL telemetry)::
+
+    repro-routing lab run --topology nsfnet --traffic nominal --seeds 10
+    repro-routing lab run --experiment FIG6   # an experiment's job graph
+    repro-routing lab status                  # per-study progress
+    repro-routing lab resume                  # finish an interrupted study
+    repro-routing lab ls                      # store contents
+    repro-routing lab gc                      # drop unreferenced results
 """
 
 from __future__ import annotations
@@ -303,6 +313,209 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_lab_traffic(value: str):
+    """``nominal`` or a per-pair Erlang value."""
+    if value == "nominal":
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        raise SystemExit(
+            f"lab: traffic must be 'nominal' or a per-pair Erlang value, "
+            f"got {value!r}"
+        ) from None
+
+
+def _lab_study_summary(study) -> dict:
+    """JSON-ready summary of one finished lab study (deterministic values)."""
+    return {
+        "study": study.lab.study,
+        "total_jobs": study.lab.total_jobs,
+        "cache_hits": study.lab.cache_hits,
+        "simulated": study.lab.simulated,
+        "failed": study.lab.failed,
+        "elapsed": study.lab.elapsed,
+        "events": study.lab.events,
+        "policies": {
+            name: {
+                "mean": outcome.stat.mean,
+                "half_width": outcome.stat.half_width,
+                "values": list(outcome.stat.values),
+            }
+            for name, outcome in study.outcomes.items()
+        },
+    }
+
+
+def _run_lab_studies(studies, args, config=None) -> int:
+    """Run ``(scenario, policies)`` studies through the lab; print/report."""
+    from .api import LabConfig, run_study
+    from .lab.scheduler import LabInterrupted
+
+    lab = LabConfig(
+        store=args.store, events=args.events, max_jobs=args.max_jobs
+    )
+    config = _config(args) if config is None else config
+    summaries = []
+    for scenario, policies in studies:
+        try:
+            study = run_study(
+                scenario, policies=policies, config=config,
+                parallel=args.workers != 0, max_workers=args.workers or None,
+                lab=lab,
+            )
+        except LabInterrupted as exc:
+            print(exc.report.describe(), file=sys.stderr)
+            print(
+                f"resume with: repro-routing lab resume --store {args.store}",
+                file=sys.stderr,
+            )
+            return 3
+        summaries.append(_lab_study_summary(study))
+    if args.json:
+        print(json.dumps(
+            {"schema": "repro-lab-run-v1", "studies": summaries},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    from .experiments.report import format_table
+
+    for summary in summaries:
+        print(
+            f"study {summary['study']}: {summary['total_jobs']} jobs, "
+            f"{summary['cache_hits']} cache hits, "
+            f"{summary['simulated']} simulated in {summary['elapsed']:.2f}s"
+        )
+        print(format_table(
+            ["policy", "blocking", "ci"],
+            [[name, data["mean"], data["half_width"]]
+             for name, data in summary["policies"].items()],
+        ))
+        if summary["events"]:
+            print(f"telemetry: {summary['events']}")
+    return 0
+
+
+def _cmd_lab_run(args: argparse.Namespace) -> int:
+    from .api import Scenario
+
+    if args.experiment:
+        from .experiments.registry import experiment_job_graph
+
+        try:
+            studies = experiment_job_graph(args.experiment)
+        except (KeyError, ValueError) as exc:
+            message = exc.args[0] if exc.args else str(exc)
+            raise SystemExit(f"lab run: {message}")
+        return _run_lab_studies(studies, args)
+    scenario = Scenario(
+        topology=args.topology,
+        traffic=_parse_lab_traffic(args.traffic),
+        policy=args.policies[0],
+        max_hops=args.hops,
+        load_scale=args.load_scale,
+    )
+    return _run_lab_studies([(scenario, tuple(args.policies))], args)
+
+
+def _latest_study(store) -> str | None:
+    studies = store.list_studies()
+    if not studies:
+        return None
+    return max(studies, key=lambda s: store.manifest_path(s).stat().st_mtime)
+
+
+def _cmd_lab_resume(args: argparse.Namespace) -> int:
+    from .experiments.runner import ReplicationConfig
+    from .lab.scheduler import scenario_from_spec
+    from .lab.store import ResultStore
+
+    store = ResultStore(args.store)
+    study = args.study or _latest_study(store)
+    if study is None:
+        raise SystemExit(f"lab resume: no studies recorded under {args.store}")
+    manifest = store.load_manifest(study)
+    if manifest is None:
+        raise SystemExit(f"lab resume: unknown study {study!r} in {args.store}")
+    try:
+        scenario = scenario_from_spec(manifest["spec"])
+    except ValueError as exc:
+        raise SystemExit(f"lab resume: {exc}")
+    raw = manifest["config"]
+    # Replay the manifest's own replication window and seed roster;
+    # different fidelity flags would change the job keys and therefore
+    # start a different study instead of finishing this one.
+    config = ReplicationConfig(
+        measured_duration=float(raw["measured_duration"]),
+        warmup=float(raw["warmup"]),
+        seeds=tuple(int(s) for s in raw["seeds"]),
+    )
+    return _run_lab_studies(
+        [(scenario, tuple(manifest["policies"]))], args, config=config
+    )
+
+
+def _cmd_lab_status(args: argparse.Namespace) -> int:
+    from .experiments.report import format_table
+    from .lab.store import ResultStore
+
+    store = ResultStore(args.store)
+    studies = [args.study] if args.study else store.list_studies()
+    if not studies:
+        print(f"no studies recorded under {args.store}")
+        return 0
+    rows = []
+    for study in studies:
+        manifest = store.load_manifest(study)
+        if manifest is None:
+            raise SystemExit(f"lab status: unknown study {study!r}")
+        jobs = manifest.get("jobs", {})
+        done = sum(1 for key in jobs if key in store)
+        failed = sum(1 for entry in jobs.values()
+                     if entry.get("status") == "failed")
+        state = "complete" if done == len(jobs) else (
+            "failed" if failed else "partial"
+        )
+        rows.append([
+            study, ",".join(manifest.get("policies", [])),
+            len(jobs), done, failed, state,
+        ])
+    print(format_table(["study", "policies", "jobs", "done", "failed", "state"], rows))
+    if args.study:
+        manifest = store.load_manifest(args.study)
+        detail = [
+            [entry["policy"], entry["seed"],
+             "done" if key in store else entry.get("status", "pending"),
+             f"{entry['elapsed']:.3f}" if "elapsed" in entry else "-"]
+            for key, entry in manifest["jobs"].items()
+        ]
+        detail.sort(key=lambda row: (row[0], row[1]))
+        print(format_table(["policy", "seed", "status", "seconds"], detail))
+    return 0
+
+
+def _cmd_lab_ls(args: argparse.Namespace) -> int:
+    from .lab.store import ResultStore
+
+    stats = ResultStore(args.store).stats()
+    print(
+        f"{stats['root']}: {stats['objects']} cached replications "
+        f"({stats['bytes'] / 1024:.1f} KiB), {stats['studies']} studies"
+    )
+    return 0
+
+
+def _cmd_lab_gc(args: argparse.Namespace) -> int:
+    from .lab.store import ResultStore
+
+    outcome = ResultStore(args.store).gc()
+    print(
+        f"removed {outcome['removed']} unreferenced replications, "
+        f"kept {outcome['kept']}"
+    )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -407,6 +620,59 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--duration", type=float, default=100.0)
     report.add_argument("--output", help="write the markdown report here")
     report.set_defaults(func=_cmd_report)
+
+    lab = sub.add_parser(
+        "lab", help="content-addressed study orchestration (cached, resumable)"
+    )
+    lab_sub = lab.add_subparsers(dest="lab_command", required=True)
+
+    run = lab_sub.add_parser("run", help="run a study through the result store")
+    run.add_argument("--topology", default="nsfnet",
+                     help="nsfnet or quadrangle (default nsfnet)")
+    run.add_argument("--traffic", default="nominal",
+                     help="'nominal' or a per-pair Erlang value")
+    run.add_argument("--policies", nargs="+", default=["controlled"],
+                     help="routing policies to study on common random numbers")
+    run.add_argument("--load-scale", type=float, default=1.0)
+    run.add_argument("--hops", type=int, default=None, help="alternate hop cap H")
+    run.add_argument("--experiment", default=None,
+                     help="run a registered experiment's lab job graph instead")
+    run.add_argument("--seeds", type=int, default=10)
+    run.add_argument("--duration", type=float, default=100.0)
+    run.set_defaults(func=_cmd_lab_run)
+
+    resume = lab_sub.add_parser(
+        "resume", help="finish an interrupted study from its manifest"
+    )
+    resume.add_argument("--study", default=None,
+                        help="study key (default: most recent manifest)")
+    resume.set_defaults(func=_cmd_lab_resume)
+
+    for cmd in (run, resume):
+        cmd.add_argument("--store", default=".repro-lab",
+                         help="result-store root (default .repro-lab)")
+        cmd.add_argument("--events", default=None,
+                         help="JSONL telemetry path (default: inside the store)")
+        cmd.add_argument("--workers", type=int, default=0,
+                         help="process-pool size; 0 (default) runs in-process")
+        cmd.add_argument("--max-jobs", type=int, default=None,
+                         help="simulate at most N jobs, then checkpoint and stop")
+        cmd.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+
+    status = lab_sub.add_parser("status", help="per-study progress from manifests")
+    status.add_argument("--study", default=None, help="detail one study")
+    status.set_defaults(func=_cmd_lab_status)
+
+    ls = lab_sub.add_parser("ls", help="store contents summary")
+    ls.set_defaults(func=_cmd_lab_ls)
+
+    gc = lab_sub.add_parser("gc", help="drop replications no manifest references")
+    gc.set_defaults(func=_cmd_lab_gc)
+
+    for cmd in (status, ls, gc):
+        cmd.add_argument("--store", default=".repro-lab",
+                         help="result-store root (default .repro-lab)")
     return parser
 
 

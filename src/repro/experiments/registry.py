@@ -26,6 +26,8 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "run_experiment_json",
+    "experiment_job_graph",
+    "lab_runnable_experiments",
     "list_experiments",
     "run_all",
 ]
@@ -39,6 +41,13 @@ class Experiment:
     the same artifact as a JSON-ready dict for machine consumption (the
     CLI's ``experiment --json``).  Experiments without a ``data`` callable
     fall back to shipping the rendered report inside the JSON envelope.
+
+    ``jobs``, where provided, decomposes the experiment into its lab job
+    graph: a list of ``(Scenario, policies)`` studies covering every
+    replication the artifact needs.  ``repro-routing lab run --experiment
+    ID`` runs that graph through the content-addressed store, so the
+    sweep's replications are checkpointed per seed, resumable, and shared
+    with any other study touching the same points.
     """
 
     id: str
@@ -46,6 +55,49 @@ class Experiment:
     bench: str
     run: Callable[[ReplicationConfig], str]
     data: Callable[[ReplicationConfig], dict] | None = None
+    jobs: Callable[[], list[tuple["Scenario", tuple[str, ...]]]] | None = None
+
+
+_SWEEP_POLICIES = ("single-path", "uncontrolled", "controlled")
+
+
+def _fig3_jobs() -> list:
+    from ..api import Scenario
+    from .figures import QUADRANGLE_LOADS
+
+    return [
+        (Scenario(topology="quadrangle", traffic=float(per_pair)),
+         _SWEEP_POLICIES)
+        for per_pair in QUADRANGLE_LOADS
+    ]
+
+
+def _nsfnet_jobs(load_values, max_hops=None, include_ott_krishnan=False) -> list:
+    from ..api import Scenario
+
+    policies = _SWEEP_POLICIES + (("ott-krishnan",) if include_ott_krishnan else ())
+    return [
+        (Scenario(topology="nsfnet", traffic="nominal",
+                  load_scale=load / 10.0, max_hops=max_hops),
+         policies)
+        for load in load_values
+    ]
+
+
+def _fig6_jobs() -> list:
+    from .figures import NSFNET_LOAD_MULTIPLIERS
+
+    return _nsfnet_jobs(NSFNET_LOAD_MULTIPLIERS)
+
+
+def _h6_jobs() -> list:
+    from .figures import NSFNET_LOAD_MULTIPLIERS
+
+    return _nsfnet_jobs(NSFNET_LOAD_MULTIPLIERS, max_hops=6)
+
+
+def _ott_krishnan_jobs() -> list:
+    return _nsfnet_jobs((10.0, 12.0), include_ott_krishnan=True)
 
 
 def _fig2(config: ReplicationConfig) -> str:
@@ -334,13 +386,14 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("TAB1", "NSFNet loads and protection levels",
                    "bench_table1_protection_levels.py", _tab1, _tab1_data),
         Experiment("FIG3", "quadrangle blocking sweep (also Figure 4)",
-                   "bench_fig3_quadrangle.py", _fig3, _fig3_data),
+                   "bench_fig3_quadrangle.py", _fig3, _fig3_data, _fig3_jobs),
         Experiment("FIG6", "NSFNet blocking sweep, H=11 (also Figure 7)",
-                   "bench_fig6_nsfnet.py", _fig6, _fig6_data),
+                   "bench_fig6_nsfnet.py", _fig6, _fig6_data, _fig6_jobs),
         Experiment("EXP-H6", "NSFNet blocking sweep, H=6",
-                   "bench_h6_restriction.py", _h6, _h6_data),
+                   "bench_h6_restriction.py", _h6, _h6_data, _h6_jobs),
         Experiment("EXP-OK", "Ott-Krishnan shadow-price comparator",
-                   "bench_ott_krishnan.py", _ott_krishnan, _ott_krishnan_data),
+                   "bench_ott_krishnan.py", _ott_krishnan, _ott_krishnan_data,
+                   _ott_krishnan_jobs),
         Experiment("EXP-FAIL", "link failures preserve the ordering",
                    "bench_link_failures.py", _failures),
         Experiment("EXP-DYNFAIL", "mid-run link failure, drop and recovery",
@@ -364,6 +417,34 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "bench_general_mesh.py", _general_mesh),
     )
 }
+
+
+def lab_runnable_experiments() -> tuple[str, ...]:
+    """Ids of experiments that decompose into lab job graphs."""
+    return tuple(
+        experiment.id for experiment in EXPERIMENTS.values()
+        if experiment.jobs is not None
+    )
+
+
+def experiment_job_graph(experiment_id: str) -> list:
+    """The lab job graph of one experiment: ``[(Scenario, policies), ...]``.
+
+    Raises ``KeyError`` for unknown ids and ``ValueError`` for experiments
+    that don't decompose into replication studies (analytic artifacts like
+    FIG2/EXT-BIST need no simulation, so there is nothing to cache).
+    """
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    experiment = EXPERIMENTS[key]
+    if experiment.jobs is None:
+        runnable = ", ".join(lab_runnable_experiments())
+        raise ValueError(
+            f"experiment {key} has no lab job graph; lab-runnable: {runnable}"
+        )
+    return experiment.jobs()
 
 
 def list_experiments() -> str:

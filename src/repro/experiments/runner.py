@@ -19,6 +19,7 @@ per-seed report next to the aggregate.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -70,6 +71,19 @@ def _shared_context_worker(seed: int) -> SimulationResult:
     return simulate(network, policy, trace, warmup)
 
 
+def _timed_call(worker: Callable, payload) -> tuple[float, SimulationResult]:
+    """Run ``worker(payload)`` and report its in-process wall-clock seconds.
+
+    Timing happens inside the worker process, so for parallel runs it
+    measures compute time only — queueing behind a busy pool is excluded.
+    The per-seed times feed :attr:`SeedStatus.wall_clock` and the lab
+    scheduler's ETA estimates.
+    """
+    start = time.perf_counter()
+    result = worker(payload)
+    return time.perf_counter() - start, result
+
+
 @positional_shim
 @dataclass(frozen=True, kw_only=True)
 class ReplicationConfig:
@@ -108,7 +122,10 @@ class SeedStatus:
     ``completed`` is True once a result was obtained (possibly after
     retries, possibly via the serial fallback).  ``errors`` records one
     message per failed attempt — ``"timeout after Ns"`` for bounded-wait
-    expiries, the exception text otherwise.
+    expiries, the exception text otherwise.  ``wall_clock`` is the
+    in-process compute time, in seconds, of the successful attempt (pool
+    queueing excluded); ``None`` until the seed completes.  ``cached`` marks
+    seeds served from the lab's result store without simulating.
     """
 
     seed: int
@@ -117,11 +134,17 @@ class SeedStatus:
     timeouts: int = 0
     fallback: bool = False
     errors: tuple[str, ...] = ()
+    wall_clock: float | None = None
+    cached: bool = False
 
     def describe(self) -> str:
         if self.completed:
-            how = "serial fallback" if self.fallback else "ok"
+            how = "cached" if self.cached else (
+                "serial fallback" if self.fallback else "ok"
+            )
             suffix = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+            if self.wall_clock is not None:
+                suffix += f" in {self.wall_clock:.3f}s"
             return f"seed {self.seed}: {how}{suffix}"
         detail = self.errors[-1] if self.errors else "unknown error"
         return f"seed {self.seed}: FAILED after {self.attempts} attempts ({detail})"
@@ -166,7 +189,7 @@ def _run_payloads_serial(
         while not status.completed:
             status.attempts += 1
             try:
-                results[index] = worker(payloads[index])
+                elapsed, results[index] = _timed_call(worker, payloads[index])
             except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
                 status.errors += (f"{type(exc).__name__}: {exc}",)
                 if status.attempts > max_seed_retries:
@@ -174,6 +197,7 @@ def _run_payloads_serial(
             else:
                 status.completed = True
                 status.fallback = fallback
+                status.wall_clock = elapsed
 
 
 def _run_payloads_parallel(
@@ -196,14 +220,19 @@ def _run_payloads_parallel(
     )
     try:
         while remaining:
-            futures = {index: pool.submit(worker, payloads[index]) for index in remaining}
+            futures = {
+                index: pool.submit(_timed_call, worker, payloads[index])
+                for index in remaining
+            }
             next_round: list[int] = []
             recycle = False
             for index, future in futures.items():
                 status = statuses[index]
                 status.attempts += 1
                 try:
-                    results[index] = future.result(timeout=seed_timeout)
+                    status.wall_clock, results[index] = future.result(
+                        timeout=seed_timeout
+                    )
                     status.completed = True
                 except FuturesTimeoutError:
                     # The worker is hung (or just slow): abandon the future —
@@ -230,7 +259,9 @@ def _run_payloads_parallel(
                     if index in results or not future.done():
                         continue
                     try:
-                        results[index] = future.result(timeout=0)
+                        statuses[index].wall_clock, results[index] = future.result(
+                            timeout=0
+                        )
                         statuses[index].completed = True
                     except Exception:  # noqa: BLE001
                         pass

@@ -3,21 +3,44 @@
 Sweeps take minutes at paper fidelity; persisting them lets the CLI and
 notebooks regenerate reports without re-simulating.  The format is plain
 JSON — one document per sweep — with enough metadata (schema version,
-config) to refuse incompatible files instead of misreading them.
+config, provenance) to refuse incompatible files instead of misreading
+them.
+
+Documents are now ``repro-sweep-v2``: they carry a provenance block (the
+package version that produced them plus the canonical hash of the
+replication config, via :mod:`repro.lab.hashing`) so :func:`load_sweep` can
+*warn* when a file was produced by a different code version or under a
+different config than its embedded one claims — a drifted sweep loads, but
+never silently.  Legacy ``v1`` files pass through the lab store's migration
+shim (:func:`repro.lab.store.migrate_sweep_document`) and load without a
+provenance check.  Per-replication caching has moved to the lab's
+content-addressed store; these flat documents remain the exchange format
+for aggregated sweeps.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from pathlib import Path
 from typing import Sequence
 
 from ..sim.metrics import SweepStatistic
 from .runner import ReplicationConfig, SweepPoint
 
-__all__ = ["save_sweep", "load_sweep", "sweep_document", "statistic_to_dict"]
+__all__ = [
+    "save_sweep",
+    "load_sweep",
+    "sweep_document",
+    "statistic_to_dict",
+    "ProvenanceWarning",
+]
 
-_SCHEMA = "repro-sweep-v1"
+_SCHEMA = "repro-sweep-v2"
+
+
+class ProvenanceWarning(UserWarning):
+    """A sweep file's recorded provenance disagrees with this environment."""
 
 
 def statistic_to_dict(stat: SweepStatistic) -> dict:
@@ -41,6 +64,29 @@ def _statistic_from_dict(data: dict) -> SweepStatistic:
     )
 
 
+def _config_dict(config: ReplicationConfig) -> dict:
+    return {
+        "measured_duration": config.measured_duration,
+        "warmup": config.warmup,
+        "seeds": list(config.seeds),
+    }
+
+
+def _config_hash(config: ReplicationConfig) -> str:
+    from ..lab.hashing import content_hash
+
+    return content_hash(_config_dict(config))
+
+
+def _provenance(config: ReplicationConfig | None) -> dict:
+    from ..lab.store import repro_version
+
+    return {
+        "repro_version": repro_version(),
+        "config_hash": None if config is None else _config_hash(config),
+    }
+
+
 def sweep_document(
     points: Sequence[SweepPoint],
     config: ReplicationConfig | None = None,
@@ -50,13 +96,8 @@ def sweep_document(
     return {
         "schema": _SCHEMA,
         "title": title,
-        "config": None
-        if config is None
-        else {
-            "measured_duration": config.measured_duration,
-            "warmup": config.warmup,
-            "seeds": list(config.seeds),
-        },
+        "provenance": _provenance(config),
+        "config": None if config is None else _config_dict(config),
         "points": [
             {
                 "load": point.load,
@@ -82,18 +123,53 @@ def save_sweep(
     Path(path).write_text(json.dumps(document, indent=2, sort_keys=True))
 
 
+def _check_provenance(document: dict, path: str | Path) -> None:
+    """Warn (never fail) when a v2 file's provenance doesn't match us."""
+    from ..lab.store import repro_version
+
+    provenance = document.get("provenance")
+    if not provenance:  # migrated v1 file: nothing recorded, nothing to check
+        return
+    recorded = provenance.get("repro_version")
+    current = repro_version()
+    if recorded is not None and recorded != current:
+        warnings.warn(
+            f"sweep file {path} was produced by repro {recorded}, but repro "
+            f"{current} is loading it; regenerate if results look off",
+            ProvenanceWarning,
+            stacklevel=3,
+        )
+    recorded_hash = provenance.get("config_hash")
+    config = document.get("config")
+    if recorded_hash is not None and config is not None:
+        actual = _config_hash(
+            ReplicationConfig(
+                measured_duration=float(config["measured_duration"]),
+                warmup=float(config["warmup"]),
+                seeds=tuple(int(s) for s in config["seeds"]),
+            )
+        )
+        if actual != recorded_hash:
+            warnings.warn(
+                f"sweep file {path} embeds a config that no longer matches its "
+                "recorded config hash; the file was edited after being saved",
+                ProvenanceWarning,
+                stacklevel=3,
+            )
+
+
 def load_sweep(path: str | Path) -> tuple[list[SweepPoint], ReplicationConfig | None, str]:
-    """Read a sweep written by :func:`save_sweep`.
+    """Read a sweep written by :func:`save_sweep` (v2, or legacy v1).
 
     Returns ``(points, config, title)``; the config is ``None`` when the
-    file was saved without one.  Raises ``ValueError`` on schema mismatch.
+    file was saved without one.  Raises ``ValueError`` on schema mismatch;
+    emits :class:`ProvenanceWarning` when the file records a different
+    package version or a config hash that no longer matches its content.
     """
-    document = json.loads(Path(path).read_text())
-    if document.get("schema") != _SCHEMA:
-        raise ValueError(
-            f"unrecognized sweep file schema {document.get('schema')!r}; "
-            f"expected {_SCHEMA!r}"
-        )
+    from ..lab.store import migrate_sweep_document
+
+    document = migrate_sweep_document(json.loads(Path(path).read_text()))
+    _check_provenance(document, path)
     points = []
     for entry in document["points"]:
         point = SweepPoint(load=float(entry["load"]))

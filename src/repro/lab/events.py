@@ -1,0 +1,96 @@
+"""Structured progress telemetry: a JSONL event bus for lab runs.
+
+Every scheduler action emits one flat JSON object — ``study_started``,
+``job_cache_hit``, ``job_started``, ``job_finished``, ``job_failed``,
+``progress`` (running ETA / throughput), ``study_interrupted``,
+``study_finished`` — to an append-only JSONL file and an in-memory list.
+The CLI's ``repro-routing lab status`` and the CI smoke harness consume the
+file; tests consume the list.  Events are a *log*, not state: the store's
+manifests remain the source of truth for what is done.
+
+The bus is deliberately dependency-free and failure-tolerant: a broken
+events path degrades to in-memory-only rather than failing the study.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Callable, Iterator
+
+__all__ = ["EventBus", "read_events"]
+
+
+class EventBus:
+    """Append-only emitter of structured lab events.
+
+    ``path=None`` keeps events in memory only.  ``clock`` is injectable for
+    deterministic tests; it must return seconds (``time.time`` compatible).
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        clock: Callable[[], float] = time.time,
+    ):
+        self._clock = clock
+        self._events: list[dict] = []
+        self._stream: io.TextIOBase | None = None
+        self.path = None if path is None else Path(path)
+        if self.path is not None:
+            try:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._stream = self.path.open("a", encoding="utf-8")
+            except OSError:
+                self._stream = None  # degrade to in-memory only
+
+    @property
+    def events(self) -> list[dict]:
+        """Every event emitted through this bus (in memory, in order)."""
+        return self._events
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the event dict (with ``kind``/``t``)."""
+        event = {"kind": kind, "t": self._clock(), **fields}
+        self._events.append(event)
+        if self._stream is not None:
+            try:
+                self._stream.write(json.dumps(event, sort_keys=True) + "\n")
+                self._stream.flush()
+            except OSError:  # pragma: no cover - disk-full style failures
+                self._stream = None
+        return event
+
+    def close(self) -> None:
+        if self._stream is not None:
+            try:
+                self._stream.close()
+            finally:
+                self._stream = None
+
+    def __enter__(self) -> "EventBus":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str | Path, kind: str | None = None) -> Iterator[dict]:
+    """Yield events from a JSONL file, optionally filtered by ``kind``.
+
+    Tolerates a trailing partial line (the writer may have been killed
+    mid-write — exactly the crash the lab is designed to resume from).
+    """
+    with Path(path).open(encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if kind is None or event.get("kind") == kind:
+                yield event

@@ -1,0 +1,164 @@
+"""Canonical hashing: stable content keys for scenarios, configs and jobs.
+
+The lab's result store is content-addressed: one simulated replication is
+keyed by everything that determines its outcome — the scenario (topology,
+traffic, policy, hop cap, load scale), the replication window (duration,
+warm-up), the seed, and the simulator's result-schema version.  Two studies
+that overlap in any of those points share the cached result; changing any
+ingredient changes the key.
+
+Hashes are SHA-256 over a canonical JSON form: sorted keys, no whitespace,
+floats rendered by ``repr`` (shortest round-trip form, so ``1.2`` hashes the
+same from every code path that means the bit pattern ``1.2``).  Concrete
+:class:`~repro.topology.graph.Network` and
+:class:`~repro.traffic.matrix.TrafficMatrix` objects hash by value (links,
+capacities, failed set; per-pair demands), so a custom mesh built twice from
+the same data reuses its cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from ..api import Scenario
+    from ..experiments.runner import ReplicationConfig
+
+__all__ = [
+    "canonical_json",
+    "content_hash",
+    "scenario_signature",
+    "config_signature",
+    "job_key",
+    "study_key",
+]
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively normalize a value into JSON-stable primitives."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, float):
+        # repr() is the shortest round-trip form; json.dumps uses it too,
+        # but normalizing here keeps integer-valued floats distinct from
+        # ints only when the caller meant them to be.
+        return value
+    return value
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators."""
+    return json.dumps(
+        _canonical(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def _network_signature(network) -> dict:
+    """Hash a concrete Network by value: nodes, links, failed set."""
+    return {
+        "num_nodes": network.num_nodes,
+        "links": [
+            [link.src, link.dst, link.capacity] for link in network.links
+        ],
+        "failed": sorted(network.failed_links),
+    }
+
+
+def _traffic_signature(traffic) -> dict:
+    """Hash a concrete TrafficMatrix by its positive demands."""
+    return {
+        "num_nodes": traffic.num_nodes,
+        "demands": [
+            [i, j, value] for (i, j), value in traffic.positive_pairs()
+        ],
+    }
+
+
+def scenario_signature(scenario: "Scenario") -> dict:
+    """The JSON-stable description of everything a Scenario pins down.
+
+    String/number specs (``"nsfnet"``, ``"nominal"``, a per-pair Erlang
+    value) are recorded as given; concrete objects are serialized by value
+    so equal custom networks/matrices share cache entries.  The policy is
+    *not* part of the scenario signature — jobs carry their policy name
+    separately so multi-policy studies share one scenario identity.
+    """
+    from ..topology.graph import Network
+    from ..traffic.matrix import TrafficMatrix
+
+    topology = scenario.topology
+    if isinstance(topology, Network):
+        topology = _network_signature(topology)
+    traffic = scenario.traffic
+    if isinstance(traffic, TrafficMatrix):
+        traffic = _traffic_signature(traffic)
+    elif isinstance(traffic, (int, float)):
+        traffic = float(traffic)
+    return {
+        "topology": topology,
+        "traffic": traffic,
+        "max_hops": scenario.max_hops,
+        "load_scale": float(scenario.load_scale),
+    }
+
+
+def config_signature(config: "ReplicationConfig") -> dict:
+    """The replication-window part of a job's identity (seeds excluded).
+
+    Seeds are deliberately left out: each job is one seed, carried in the
+    job key itself, so studies over different seed sets still share the
+    per-seed cache entries they have in common.
+    """
+    return {
+        "measured_duration": float(config.measured_duration),
+        "warmup": float(config.warmup),
+    }
+
+
+def job_key(
+    scenario_sig: dict,
+    policy: str,
+    config_sig: dict,
+    seed: int,
+    schema_version: int,
+) -> str:
+    """Content key of one ``(scenario, policy, window, seed)`` replication."""
+    return content_hash(
+        {
+            "kind": "repro-lab-job",
+            "schema_version": schema_version,
+            "scenario": scenario_sig,
+            "policy": policy,
+            "config": config_sig,
+            "seed": int(seed),
+        }
+    )
+
+
+def study_key(
+    scenario_sig: dict,
+    policies: tuple[str, ...],
+    config_sig: dict,
+    seeds: tuple[int, ...],
+    schema_version: int,
+) -> str:
+    """Content key of a whole study (its manifest name in the store)."""
+    return content_hash(
+        {
+            "kind": "repro-lab-study",
+            "schema_version": schema_version,
+            "scenario": scenario_sig,
+            "policies": list(policies),
+            "config": config_sig,
+            "seeds": [int(s) for s in seeds],
+        }
+    )[:16]

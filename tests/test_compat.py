@@ -1,0 +1,81 @@
+"""Tests for the positional-argument deprecation shims in ``repro._compat``.
+
+The kw-only config dataclasses keep accepting positional construction (the
+pre-keyword-only calling convention) through :func:`positional_shim`; these
+tests pin down the shim's contract directly instead of relying on the
+incidental coverage the config-using tests provide.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments.runner import ReplicationConfig
+from repro.sim.signaling import SignalingConfig
+
+
+class TestReplicationConfigShim:
+    def test_positional_maps_in_declaration_order(self):
+        with pytest.warns(DeprecationWarning, match="ReplicationConfig"):
+            config = ReplicationConfig(25.0, 5.0, (0, 1))
+        assert config.measured_duration == 25.0
+        assert config.warmup == 5.0
+        assert config.seeds == (0, 1)
+
+    def test_positional_equals_keyword(self):
+        with pytest.warns(DeprecationWarning):
+            positional = ReplicationConfig(25.0, 5.0, (0, 1))
+        keyword = ReplicationConfig(measured_duration=25.0, warmup=5.0, seeds=(0, 1))
+        assert positional == keyword
+
+    def test_mixed_positional_and_keyword(self):
+        with pytest.warns(DeprecationWarning):
+            config = ReplicationConfig(25.0, warmup=7.0)
+        assert config.measured_duration == 25.0
+        assert config.warmup == 7.0
+        assert config.seeds == tuple(range(10))
+
+    def test_keyword_only_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ReplicationConfig(measured_duration=25.0)
+
+    def test_too_many_positional_raises(self):
+        with pytest.raises(TypeError, match="at most 3"):
+            ReplicationConfig(25.0, 5.0, (0,), "extra")
+
+    def test_duplicate_positional_and_keyword_raises(self):
+        with pytest.raises(TypeError, match="multiple values"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                ReplicationConfig(25.0, measured_duration=30.0)
+
+    def test_derived_properties_survive_shim(self):
+        with pytest.warns(DeprecationWarning):
+            config = ReplicationConfig(25.0, 5.0)
+        assert config.duration == 30.0
+        assert config.scaled(duration_factor=2.0).measured_duration == 50.0
+
+
+class TestSignalingConfigShim:
+    def test_positional_maps_in_declaration_order(self):
+        with pytest.warns(DeprecationWarning, match="SignalingConfig"):
+            config = SignalingConfig(1e-4, 0.0, 0.5)
+        assert config.propagation_delay == 1e-4
+        assert config.message_loss_probability == 0.0
+        assert config.setup_timeout == 0.5
+
+    def test_keyword_only_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SignalingConfig(propagation_delay=1e-4)
+
+    def test_validation_still_runs_after_shim(self):
+        # Positive loss without a setup timeout is rejected by the real
+        # __post_init__ — the shim must not bypass it.
+        with pytest.raises(ValueError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                SignalingConfig(0.0, 0.5)

@@ -79,3 +79,44 @@ class TestRunAll:
         ) == 0
         assert "wrote" in capsys.readouterr().out
         assert "Regenerated paper artifacts" in out.read_text()
+
+
+class TestJobGraphs:
+    def test_lab_runnable_ids(self):
+        from repro.experiments.registry import lab_runnable_experiments
+
+        runnable = lab_runnable_experiments()
+        assert {"FIG3", "FIG6", "EXP-H6", "EXP-OK"} <= set(runnable)
+        assert "FIG2" not in runnable  # analytic: nothing to simulate
+
+    def test_fig3_graph_covers_every_load(self):
+        from repro.experiments.figures import QUADRANGLE_LOADS
+        from repro.experiments.registry import experiment_job_graph
+
+        graph = experiment_job_graph("FIG3")
+        assert len(graph) == len(QUADRANGLE_LOADS)
+        loads = [scenario.traffic for scenario, __ in graph]
+        assert loads == [float(load) for load in QUADRANGLE_LOADS]
+        assert all(policies == ("single-path", "uncontrolled", "controlled")
+                   for __, policies in graph)
+
+    def test_h6_graph_restricts_hops(self):
+        from repro.experiments.registry import experiment_job_graph
+
+        graph = experiment_job_graph("EXP-H6")
+        assert all(scenario.max_hops == 6 for scenario, __ in graph)
+
+    def test_ott_krishnan_graph_adds_policy(self):
+        from repro.experiments.registry import experiment_job_graph
+
+        graph = experiment_job_graph("EXP-OK")
+        assert all("ott-krishnan" in policies for __, policies in graph)
+
+    def test_case_insensitive_and_errors(self):
+        from repro.experiments.registry import experiment_job_graph
+
+        assert experiment_job_graph("fig6") == experiment_job_graph("FIG6")
+        with pytest.raises(KeyError, match="FIG99"):
+            experiment_job_graph("FIG99")
+        with pytest.raises(ValueError, match="FIG2"):
+            experiment_job_graph("FIG2")

@@ -59,8 +59,49 @@ class TestStorage:
         path = tmp_path / "sweep.json"
         save_sweep(path, make_points(), title="x")
         document = json.loads(path.read_text())
-        assert document["schema"] == "repro-sweep-v1"
+        assert document["schema"] == "repro-sweep-v2"
         assert document["points"][0]["blocking"]["controlled"]["mean"] == 0.03
+
+    def test_legacy_v1_file_still_loads(self, tmp_path):
+        # v1 files predate provenance; the migration shim loads them
+        # unchanged and without warnings.
+        path = tmp_path / "sweep.json"
+        save_sweep(path, make_points(), title="legacy")
+        document = json.loads(path.read_text())
+        document["schema"] = "repro-sweep-v1"
+        del document["provenance"]
+        path.write_text(json.dumps(document))
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            points, __, title = load_sweep(path)
+        assert title == "legacy"
+        assert points[0].load == 90.0
+
+    def test_provenance_mismatch_warns(self, tmp_path):
+        from repro.experiments.storage import ProvenanceWarning
+
+        path = tmp_path / "sweep.json"
+        config = ReplicationConfig(measured_duration=40.0, warmup=10.0, seeds=(0, 1))
+        save_sweep(path, make_points(), config=config)
+        document = json.loads(path.read_text())
+        document["provenance"]["repro_version"] = "0.0.0-other"
+        path.write_text(json.dumps(document))
+        with pytest.warns(ProvenanceWarning, match="0.0.0-other"):
+            load_sweep(path)
+
+    def test_edited_config_warns(self, tmp_path):
+        from repro.experiments.storage import ProvenanceWarning
+
+        path = tmp_path / "sweep.json"
+        config = ReplicationConfig(measured_duration=40.0, warmup=10.0, seeds=(0, 1))
+        save_sweep(path, make_points(), config=config)
+        document = json.loads(path.read_text())
+        document["config"]["seeds"] = [0, 1, 2, 3]
+        path.write_text(json.dumps(document))
+        with pytest.warns(ProvenanceWarning, match="config hash"):
+            load_sweep(path)
 
 
 class TestWarmupSensitivity:
