@@ -254,6 +254,15 @@ def run_study(
     JSONL telemetry.  The returned statistics are bit-identical to a direct
     run; the pass's report rides along as ``StudyResult.lab``.
     (``seed_timeout`` applies only to the direct path.)
+
+    Per-seed diagnostics ride along on each policy's
+    :class:`~repro.experiments.runner.ReplicationOutcome` as
+    :class:`~repro.experiments.runner.SeedStatus` entries:
+    ``SeedStatus.wall_clock`` is the successful attempt's in-process
+    compute time in seconds (pool queueing excluded, ``None`` until the
+    seed completes) and ``SeedStatus.cached`` marks seeds a lab pass
+    served from its result store without simulating — so
+    ``wall_clock`` then measures the store lookup, not a simulation.
     """
     if lab is not None:
         from .lab.scheduler import run_lab_study

@@ -26,6 +26,15 @@ store (resumable, cached, with JSONL telemetry)::
     repro-routing lab resume                  # finish an interrupted study
     repro-routing lab ls                      # store contents
     repro-routing lab gc                      # drop unreferenced results
+
+The ``serve`` group runs the online admission-control service
+(:mod:`repro.serve`): the same compiled policies answering one call at a
+time over a JSON-lines socket, with micro-batching, overload shedding and
+live telemetry::
+
+    repro-routing serve run --topology nsfnet --port 7411
+    repro-routing serve replay --duration 60 --socket   # vs the simulator
+    repro-routing serve bench --overload-factor 2
 """
 
 from __future__ import annotations
@@ -313,17 +322,33 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    """Argparse type: a strictly positive integer (rejected at parse time)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {parsed}")
+    return parsed
+
+
 def _parse_lab_traffic(value: str):
-    """``nominal`` or a per-pair Erlang value."""
+    """``nominal`` or a strictly positive per-pair Erlang value."""
     if value == "nominal":
         return value
     try:
-        return float(value)
+        erlangs = float(value)
     except ValueError:
         raise SystemExit(
             f"lab: traffic must be 'nominal' or a per-pair Erlang value, "
             f"got {value!r}"
         ) from None
+    if not erlangs > 0:
+        raise SystemExit(
+            f"lab: per-pair Erlang value must be positive, got {erlangs:g}"
+        )
+    return erlangs
 
 
 def _lab_study_summary(study) -> dict:
@@ -455,6 +480,40 @@ def _cmd_lab_resume(args: argparse.Namespace) -> int:
     )
 
 
+def _lab_status_row(store, study: str) -> dict:
+    """Progress summary of one study from its manifest (JSON-ready)."""
+    manifest = store.load_manifest(study)
+    if manifest is None:
+        raise SystemExit(f"lab status: unknown study {study!r}")
+    jobs = manifest.get("jobs", {})
+    done = sum(1 for key in jobs if key in store)
+    failed = sum(1 for entry in jobs.values() if entry.get("status") == "failed")
+    state = "complete" if done == len(jobs) else ("failed" if failed else "partial")
+    return {
+        "study": study,
+        "policies": list(manifest.get("policies", [])),
+        "jobs": len(jobs),
+        "done": done,
+        "failed": failed,
+        "state": state,
+    }
+
+
+def _lab_job_rows(store, manifest: dict) -> list[dict]:
+    """Per-replication detail for one study, sorted by (policy, seed)."""
+    rows = [
+        {
+            "policy": entry["policy"],
+            "seed": entry["seed"],
+            "status": "done" if key in store else entry.get("status", "pending"),
+            "elapsed": entry.get("elapsed"),
+        }
+        for key, entry in manifest["jobs"].items()
+    ]
+    rows.sort(key=lambda row: (row["policy"], row["seed"]))
+    return rows
+
+
 def _cmd_lab_status(args: argparse.Namespace) -> int:
     from .experiments.report import format_table
     from .lab.store import ResultStore
@@ -462,34 +521,37 @@ def _cmd_lab_status(args: argparse.Namespace) -> int:
     store = ResultStore(args.store)
     studies = [args.study] if args.study else store.list_studies()
     if not studies:
-        print(f"no studies recorded under {args.store}")
+        if args.json:
+            print(json.dumps(
+                {"schema": "repro-lab-status-v1", "store": args.store,
+                 "studies": []},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            print(f"no studies recorded under {args.store}")
         return 0
-    rows = []
-    for study in studies:
-        manifest = store.load_manifest(study)
-        if manifest is None:
-            raise SystemExit(f"lab status: unknown study {study!r}")
-        jobs = manifest.get("jobs", {})
-        done = sum(1 for key in jobs if key in store)
-        failed = sum(1 for entry in jobs.values()
-                     if entry.get("status") == "failed")
-        state = "complete" if done == len(jobs) else (
-            "failed" if failed else "partial"
-        )
-        rows.append([
-            study, ",".join(manifest.get("policies", [])),
-            len(jobs), done, failed, state,
-        ])
-    print(format_table(["study", "policies", "jobs", "done", "failed", "state"], rows))
+    summaries = [_lab_status_row(store, study) for study in studies]
+    if args.json:
+        document = {
+            "schema": "repro-lab-status-v1",
+            "store": args.store,
+            "studies": summaries,
+        }
+        if args.study:
+            document["jobs"] = _lab_job_rows(store, store.load_manifest(args.study))
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    print(format_table(
+        ["study", "policies", "jobs", "done", "failed", "state"],
+        [[row["study"], ",".join(row["policies"]), row["jobs"], row["done"],
+          row["failed"], row["state"]] for row in summaries],
+    ))
     if args.study:
-        manifest = store.load_manifest(args.study)
         detail = [
-            [entry["policy"], entry["seed"],
-             "done" if key in store else entry.get("status", "pending"),
-             f"{entry['elapsed']:.3f}" if "elapsed" in entry else "-"]
-            for key, entry in manifest["jobs"].items()
+            [row["policy"], row["seed"], row["status"],
+             f"{row['elapsed']:.3f}" if row["elapsed"] is not None else "-"]
+            for row in _lab_job_rows(store, store.load_manifest(args.study))
         ]
-        detail.sort(key=lambda row: (row[0], row[1]))
         print(format_table(["policy", "seed", "status", "seconds"], detail))
     return 0
 
@@ -498,6 +560,18 @@ def _cmd_lab_ls(args: argparse.Namespace) -> int:
     from .lab.store import ResultStore
 
     stats = ResultStore(args.store).stats()
+    if args.json:
+        print(json.dumps(
+            {
+                "schema": "repro-lab-ls-v1",
+                "root": str(stats["root"]),
+                "objects": stats["objects"],
+                "bytes": stats["bytes"],
+                "studies": stats["studies"],
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
     print(
         f"{stats['root']}: {stats['objects']} cached replications "
         f"({stats['bytes'] / 1024:.1f} KiB), {stats['studies']} studies"
@@ -512,6 +586,217 @@ def _cmd_lab_gc(args: argparse.Namespace) -> int:
     print(
         f"removed {outcome['removed']} unreferenced replications, "
         f"kept {outcome['kept']}"
+    )
+    return 0
+
+
+def _serve_pieces(args: argparse.Namespace):
+    """(network, policy, scenario) for the serve group's scenario flags."""
+    from .api import Scenario
+    from .serve.state import _SUPPORTED_DISCIPLINES
+
+    scenario = Scenario(
+        topology=args.topology,
+        traffic=_parse_lab_traffic(args.traffic),
+        policy=args.policy,
+        max_hops=args.hops,
+        load_scale=args.load_scale,
+    )
+    policy = scenario.build_policy()
+    # Checked here (not only in NetworkState) so `serve bench`, which builds
+    # its own engines internally, fails with the same one-line message.
+    if policy.discipline not in _SUPPORTED_DISCIPLINES:
+        raise SystemExit(
+            f"serve: supports disciplines {_SUPPORTED_DISCIPLINES}, got "
+            f"{policy.discipline!r} (policy {policy.name!r})"
+        )
+    return scenario.network, policy, scenario
+
+
+def _serve_engine(args: argparse.Namespace, network, policy):
+    """Build the request engine the serve subcommands share."""
+    from .serve import (
+        AdaptationConfig,
+        BatchConfig,
+        NetworkState,
+        OverloadConfig,
+        OverloadControl,
+        RequestEngine,
+    )
+
+    overload = None
+    if args.rate is not None or args.queue_limit is not None:
+        overload = OverloadControl(OverloadConfig(
+            rate=float("inf") if args.rate is None else args.rate,
+            burst=args.burst,
+            alternate_reserve=args.reserve,
+            queue_limit=4096 if args.queue_limit is None else args.queue_limit,
+        ))
+    adaptation = (
+        None if args.adapt_interval is None
+        else AdaptationConfig(update_interval=args.adapt_interval)
+    )
+    try:
+        state = NetworkState(network, policy, adaptation=adaptation)
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
+    engine = RequestEngine(
+        network, policy, state=state, overload=overload,
+        batch=BatchConfig(max_batch=args.batch, max_latency=args.max_latency),
+    )
+    if getattr(args, "events", None):
+        from .lab.events import EventBus
+
+        engine.telemetry.bind(EventBus(args.events))
+    return engine
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeServer
+
+    network, policy, scenario = _serve_pieces(args)
+    engine = _serve_engine(args, network, policy)
+
+    async def serve() -> None:
+        server = ServeServer(
+            engine, host=args.host, port=args.port,
+            publish_interval=args.publish_every,
+        )
+        host, port = await server.start()
+        print(
+            f"serving {scenario.topology}/{args.policy} on {host}:{port} "
+            f"(batch {engine.batch.max_batch}, JSON lines; Ctrl-C to drain)"
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+            print(
+                f"drained: {engine.decisions_total} decisions, "
+                f"{len(engine.held)} calls still held"
+            )
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        bus = engine.telemetry.bus
+        if bus is not None:
+            bus.close()
+    return 0
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ServeServer, replay_trace, replay_trace_socket
+    from .sim.trace import generate_trace
+
+    network, policy, scenario = _serve_pieces(args)
+    engine = _serve_engine(args, network, policy)
+    trace = generate_trace(
+        scenario.traffic_matrix, args.duration + args.warmup, seed=args.seed
+    )
+    if args.socket:
+        async def run():
+            async with ServeServer(engine) as server:
+                return await replay_trace_socket(
+                    server.host, server.port, trace,
+                    warmup=args.warmup, speedup=args.speedup,
+                )
+        report = asyncio.run(run())
+    else:
+        report = replay_trace(
+            engine, trace, warmup=args.warmup, speedup=args.speedup
+        )
+    result = report.result
+    verified = None
+    if engine.overload is None and engine.state.adaptation is None:
+        from .sim.simulator import simulate
+
+        reference = simulate(network, policy, trace, warmup=args.warmup)
+        verified = (
+            np.array_equal(result.offered, reference.offered)
+            and np.array_equal(result.blocked, reference.blocked)
+            and result.primary_carried == reference.primary_carried
+            and result.alternate_carried == reference.alternate_carried
+        )
+    bus = engine.telemetry.bus
+    if bus is not None:
+        engine.publish_metrics(phase="replay")
+        bus.close()
+    if args.json:
+        print(json.dumps({
+            "schema": "repro-serve-replay-v1",
+            "transport": "socket" if args.socket else "in-process",
+            "calls": len(trace.times),
+            "requests": report.requests,
+            "network_blocking": result.network_blocking,
+            "alternate_fraction": result.alternate_fraction,
+            "decisions_per_second": report.decisions_per_second,
+            "wall_seconds": report.wall_seconds,
+            "simulator_equivalent": verified,
+        }, indent=2, sort_keys=True))
+        return 0 if verified in (None, True) else 4
+    transport = "socket" if args.socket else "in-process"
+    print(
+        f"replayed {len(trace.times)} calls ({report.requests} requests) "
+        f"{transport} at {report.decisions_per_second:,.0f} decisions/sec"
+    )
+    print(
+        f"blocking {result.network_blocking:.4f}, "
+        f"alternate fraction {result.alternate_fraction:.4f}"
+    )
+    if verified is not None:
+        print(
+            "simulator equivalence: "
+            + ("decisions match bit for bit" if verified else "MISMATCH")
+        )
+        if not verified:
+            return 4
+    else:
+        print("simulator equivalence: skipped (overload/adaptation active)")
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serve.loadgen import measure_overload, measure_throughput
+    from .sim.trace import generate_trace
+
+    network, policy, scenario = _serve_pieces(args)
+    trace = generate_trace(
+        scenario.traffic_matrix, args.duration + 10.0, seed=args.seed
+    )
+    throughput = measure_throughput(
+        network, policy, trace, batch_size=args.batch, rounds=args.rounds
+    )
+    overload = measure_overload(
+        network, policy, trace, overload_factor=args.overload_factor
+    )
+    if args.json:
+        print(json.dumps({
+            "schema": "repro-serve-bench-v1",
+            "throughput": throughput,
+            "overload": overload,
+        }, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"serial  : {throughput['serial_decisions_per_sec']:,.0f} decisions/sec"
+    )
+    print(
+        f"batched : {throughput['batched_decisions_per_sec']:,.0f} decisions/sec "
+        f"(batch {throughput['batch_size']}, {throughput['speedup']:.2f}x, "
+        "identical decisions)"
+    )
+    print(
+        f"overload x{overload['overload_factor']:g}: shed "
+        f"{overload['shed_fraction']:.1%} of queries, "
+        f"{overload['mode_transitions']} mode transitions, "
+        f"final mode {overload['final_mode']}, "
+        f"decision p99 {overload['decision_p99_seconds'] * 1e6:.1f}us"
     )
     return 0
 
@@ -637,7 +922,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--hops", type=int, default=None, help="alternate hop cap H")
     run.add_argument("--experiment", default=None,
                      help="run a registered experiment's lab job graph instead")
-    run.add_argument("--seeds", type=int, default=10)
+    run.add_argument("--seeds", type=_positive_int, default=10)
     run.add_argument("--duration", type=float, default=100.0)
     run.set_defaults(func=_cmd_lab_run)
 
@@ -673,6 +958,76 @@ def build_parser() -> argparse.ArgumentParser:
     for cmd in (status, ls, gc):
         cmd.add_argument("--store", default=".repro-lab",
                          help="result-store root (default .repro-lab)")
+    for cmd in (status, ls):
+        cmd.add_argument("--json", action="store_true",
+                         help="emit machine-readable JSON")
+
+    serve = sub.add_parser(
+        "serve", help="online admission-control service (repro.serve)"
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    serve_run = serve_sub.add_parser(
+        "run", help="serve admission decisions over a JSON-lines socket"
+    )
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument("--port", type=int, default=7411)
+    serve_run.add_argument("--publish-every", type=float, default=None,
+                           help="telemetry snapshot period in seconds")
+    serve_run.set_defaults(func=_cmd_serve_run)
+
+    serve_replay = serve_sub.add_parser(
+        "replay", help="replay a generated trace; verify against the simulator"
+    )
+    serve_replay.add_argument("--duration", type=float, default=60.0,
+                              help="measured trace time units")
+    serve_replay.add_argument("--warmup", type=float, default=10.0)
+    serve_replay.add_argument("--seed", type=int, default=0)
+    serve_replay.add_argument("--socket", action="store_true",
+                              help="replay through the socket server, not in-process")
+    serve_replay.add_argument("--speedup", type=float, default=None,
+                              help="pace replay: trace units per wall second")
+    serve_replay.add_argument("--json", action="store_true",
+                              help="emit machine-readable JSON")
+    serve_replay.set_defaults(func=_cmd_serve_replay)
+
+    serve_bench = serve_sub.add_parser(
+        "bench", help="serial-vs-batched throughput and overload behaviour"
+    )
+    serve_bench.add_argument("--duration", type=float, default=40.0)
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument("--rounds", type=_positive_int, default=3)
+    serve_bench.add_argument("--overload-factor", type=float, default=2.0,
+                             help="offered-rate multiple of the token rate")
+    serve_bench.add_argument("--json", action="store_true",
+                             help="emit machine-readable JSON")
+    serve_bench.set_defaults(func=_cmd_serve_bench)
+
+    for cmd in (serve_run, serve_replay, serve_bench):
+        cmd.add_argument("--topology", default="nsfnet",
+                         help="nsfnet or quadrangle (default nsfnet)")
+        cmd.add_argument("--traffic", default="nominal",
+                         help="'nominal' or a per-pair Erlang value")
+        cmd.add_argument("--policy", default="controlled",
+                         help="routing policy to serve (threshold family)")
+        cmd.add_argument("--load-scale", type=float, default=1.0)
+        cmd.add_argument("--hops", type=int, default=None,
+                         help="alternate hop cap H")
+        cmd.add_argument("--batch", type=_positive_int, default=64,
+                         help="micro-batch size (max_batch)")
+        cmd.add_argument("--max-latency", type=float, default=0.002,
+                         help="micro-batch flush deadline in seconds")
+        cmd.add_argument("--rate", type=float, default=None,
+                         help="token-bucket admission-query rate (enables shedding)")
+        cmd.add_argument("--burst", type=float, default=256.0)
+        cmd.add_argument("--reserve", type=float, default=0.25,
+                         help="burst fraction reserved for primary-only service")
+        cmd.add_argument("--queue-limit", type=int, default=None,
+                         help="hard queue bound (enables queue shedding)")
+        cmd.add_argument("--adapt-interval", type=float, default=None,
+                         help="enable online threshold adaptation, this often")
+        cmd.add_argument("--events", default=None,
+                         help="JSONL telemetry path (serve_metrics events)")
     return parser
 
 

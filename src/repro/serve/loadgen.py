@@ -1,0 +1,397 @@
+"""Trace replay against the serving plane — the equivalence oracle.
+
+:func:`trace_requests` flattens an :class:`~repro.sim.trace.ArrivalTrace`
+into the exact request order the offline simulator processes it in: before
+each arrival, a release for every earlier call whose departure time is at
+or before the arrival (the simulator's "departures first" rule), then the
+admission query itself, carrying the call's timestamp and uniform variate.
+Releases are issued for *every* call, admitted or not — releasing a call
+the engine never held is an occupancy no-op (answered ``unknown-call``),
+precisely as the simulator skips the empty slots of blocked calls.  That
+makes the request stream a pure function of the trace, independent of the
+decisions, so the identical stream drives serial, batched, and socket
+replays.
+
+:func:`aggregate_decisions` folds a decision list back into a
+:class:`~repro.sim.metrics.SimulationResult` with the simulator's exact
+measurement rules (warm-up truncation, per-pair offered/blocked, carried
+splits by tier), and :func:`replay_trace` /
+:func:`replay_trace_socket` run the full loop: with overload control and
+adaptation off, the report's ``result`` must equal
+``simulate(network, policy, trace, warmup)`` field for field —
+``tests/test_serve.py`` asserts it.
+
+``speedup`` paces the replay against the wall clock (``speedup=50`` plays
+one unit of trace time per 20 ms of wall time); ``None`` replays flat out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import time
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..sim.metrics import SimulationResult
+from ..sim.trace import ArrivalTrace
+from .engine import AdmitRequest, Decision, ReleaseRequest, RequestEngine
+
+__all__ = [
+    "ReplayReport",
+    "trace_requests",
+    "aggregate_decisions",
+    "replay_trace",
+    "replay_trace_socket",
+    "measure_throughput",
+    "measure_overload",
+]
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """One replay: the raw decisions, their aggregate, and the rate."""
+
+    decisions: tuple[Decision, ...]
+    result: SimulationResult
+    wall_seconds: float
+    requests: int
+
+    @property
+    def decisions_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return self.requests / self.wall_seconds
+
+
+def trace_requests(
+    trace: ArrivalTrace,
+) -> list[AdmitRequest | ReleaseRequest]:
+    """The trace as an ordered request stream (simulator event order).
+
+    Request ids are call indices; releases carry the departure timestamp.
+    """
+    times = trace.times.tolist()
+    holding = trace.holding_times.tolist()
+    od_index = trace.od_index.tolist()
+    uniforms = trace.uniforms.tolist()
+    od_pairs = trace.od_pairs
+    bandwidths = (
+        trace.bandwidths.tolist() if trace.bandwidths is not None else None
+    )
+    requests: list[AdmitRequest | ReleaseRequest] = []
+    departures: list[tuple[float, int]] = []
+    for call, now in enumerate(times):
+        while departures and departures[0][0] <= now:
+            dep_time, dep_call = heapq.heappop(departures)
+            requests.append(ReleaseRequest(id=dep_call, time=dep_time))
+        requests.append(
+            AdmitRequest(
+                id=call,
+                od=od_pairs[od_index[call]],
+                uniform=uniforms[call],
+                time=now,
+                width=1 if bandwidths is None else bandwidths[call],
+            )
+        )
+        heapq.heappush(departures, (now + holding[call], call))
+    return requests
+
+
+def aggregate_decisions(
+    trace: ArrivalTrace,
+    decisions: Sequence[Decision],
+    warmup: float = 10.0,
+) -> SimulationResult:
+    """Fold replay decisions into the simulator's result shape.
+
+    Only admission answers count; release answers (tier ``"release"``) are
+    bookkeeping.  A call is measured iff it arrived at or after ``warmup``,
+    and a measured unadmitted call is blocked whatever the reason
+    (``blocked``, ``no-route``, ``shed``, ``degraded`` all lose the call).
+    """
+    num_pairs = len(trace.od_pairs)
+    times = trace.times
+    offered = [0] * num_pairs
+    blocked = [0] * num_pairs
+    od_index = trace.od_index.tolist()
+    primary_carried = 0
+    alternate_carried = 0
+    for decision in decisions:
+        if decision.tier == "release":
+            continue
+        call = decision.id
+        if times[call] < warmup:
+            continue
+        pair = od_index[call]
+        offered[pair] += 1
+        if not decision.admitted:
+            blocked[pair] += 1
+        elif decision.tier == "alternate":
+            alternate_carried += 1
+        else:
+            primary_carried += 1
+    num_classes = len(trace.class_names)
+    return SimulationResult(
+        od_pairs=trace.od_pairs,
+        offered=np.asarray(offered, dtype=np.int64),
+        blocked=np.asarray(blocked, dtype=np.int64),
+        primary_carried=primary_carried,
+        alternate_carried=alternate_carried,
+        warmup=float(warmup),
+        duration=trace.duration,
+        seed=trace.seed,
+        class_names=trace.class_names,
+        class_offered=np.zeros(num_classes, dtype=np.int64),
+        class_blocked=np.zeros(num_classes, dtype=np.int64),
+        dropped=None,
+    )
+
+
+def _batches(
+    requests: Sequence[AdmitRequest | ReleaseRequest], size: int
+) -> Iterator[Sequence[AdmitRequest | ReleaseRequest]]:
+    for start in range(0, len(requests), size):
+        yield requests[start : start + size]
+
+
+def replay_trace(
+    engine: RequestEngine,
+    trace: ArrivalTrace,
+    warmup: float = 10.0,
+    batch_size: int | None = None,
+    speedup: float | None = None,
+) -> ReplayReport:
+    """Replay the trace through the in-process engine.
+
+    ``batch_size=1`` decides serially (one :meth:`RequestEngine.decide`
+    call per request — the per-request-overhead baseline); ``None`` uses
+    the engine's ``batch.max_batch``.  Decisions are identical for every
+    batch size.  ``speedup`` paces request *admission times* against the
+    wall clock; ``None`` replays as fast as possible.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    requests = trace_requests(trace)
+    size = engine.batch.max_batch if batch_size is None else batch_size
+    decisions: list[Decision] = []
+    start = time.perf_counter()
+    if speedup is not None:
+        origin = time.perf_counter()
+        for request in requests:
+            if request.time is not None:
+                due = origin + request.time / speedup
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+            decisions.append(engine.decide(request))
+    elif size == 1:
+        for request in requests:
+            decisions.append(engine.decide(request))
+    else:
+        for chunk in _batches(requests, size):
+            decisions.extend(engine.decide_batch(chunk))
+    elapsed = time.perf_counter() - start
+    return ReplayReport(
+        decisions=tuple(decisions),
+        result=aggregate_decisions(trace, decisions, warmup),
+        wall_seconds=elapsed,
+        requests=len(requests),
+    )
+
+
+def _encode(request: AdmitRequest | ReleaseRequest) -> bytes:
+    if isinstance(request, AdmitRequest):
+        message = {
+            "op": "admit",
+            "id": request.id,
+            "od": list(request.od),
+            "u": request.uniform,
+            "t": request.time,
+            "w": request.width,
+        }
+    else:
+        message = {"op": "release", "id": request.id, "t": request.time}
+    return json.dumps(message).encode() + b"\n"
+
+
+def _decode(line: bytes) -> Decision:
+    answer = json.loads(line)
+    if "error" in answer:
+        raise RuntimeError(f"server rejected request: {answer['error']}")
+    return Decision(
+        id=answer["id"],
+        admitted=answer["admitted"],
+        route=None if answer["route"] is None else tuple(answer["route"]),
+        tier=answer["tier"],
+        reason=answer["reason"],
+    )
+
+
+async def replay_trace_socket(
+    host: str,
+    port: int,
+    trace: ArrivalTrace,
+    warmup: float = 10.0,
+    speedup: float | None = None,
+) -> ReplayReport:
+    """Replay the trace through a running :class:`ServeServer` socket.
+
+    Requests are pipelined (the writer streams ahead while the reader
+    collects answers), so the server's micro-batcher sees real queues.
+    The decision list is position-matched to the request stream.
+    """
+    requests = trace_requests(trace)
+    reader, writer = await asyncio.open_connection(host, port)
+    decisions: list[Decision] = []
+    start = time.perf_counter()
+
+    async def send() -> None:
+        if speedup is None:
+            for request in requests:
+                writer.write(_encode(request))
+            await writer.drain()
+        else:
+            origin = time.perf_counter()
+            for request in requests:
+                if request.time is not None:
+                    delay = origin + request.time / speedup - time.perf_counter()
+                    if delay > 0:
+                        await asyncio.sleep(delay)
+                writer.write(_encode(request))
+                await writer.drain()
+
+    async def receive() -> None:
+        for __ in range(len(requests)):
+            line = await reader.readline()
+            if not line:
+                raise ConnectionError("server closed mid-replay")
+            decisions.append(_decode(line))
+
+    try:
+        await asyncio.gather(send(), receive())
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    elapsed = time.perf_counter() - start
+    return ReplayReport(
+        decisions=tuple(decisions),
+        result=aggregate_decisions(trace, decisions, warmup),
+        wall_seconds=elapsed,
+        requests=len(requests),
+    )
+
+
+def measure_throughput(
+    network,
+    policy,
+    trace: ArrivalTrace,
+    warmup: float = 10.0,
+    batch_size: int | None = None,
+    rounds: int = 3,
+) -> dict:
+    """Serial vs batched decision throughput on the identical request stream.
+
+    Interleaved best-of-``rounds`` timing (alternating the two variants per
+    round cancels CPU frequency drift); the two decision lists must be
+    identical — batching may only amortize overhead, never change answers.
+    Returns a JSON-ready dict with both rates and the speedup.
+    """
+    from .engine import BatchConfig
+
+    requests = trace_requests(trace)
+    batch = BatchConfig() if batch_size is None else BatchConfig(max_batch=batch_size)
+
+    def serial() -> tuple[list[Decision], float]:
+        engine = RequestEngine(network, policy)
+        start = time.perf_counter()
+        decisions = [engine.decide(request) for request in requests]
+        return decisions, time.perf_counter() - start
+
+    def batched() -> tuple[list[Decision], float]:
+        engine = RequestEngine(network, policy, batch=batch)
+        decisions: list[Decision] = []
+        start = time.perf_counter()
+        for chunk in _batches(requests, batch.max_batch):
+            decisions.extend(engine.decide_batch(chunk))
+        return decisions, time.perf_counter() - start
+
+    best_serial = best_batched = float("inf")
+    serial_decisions = batched_decisions = None
+    for __ in range(rounds):
+        serial_decisions, elapsed = serial()
+        best_serial = min(best_serial, elapsed)
+        batched_decisions, elapsed = batched()
+        best_batched = min(best_batched, elapsed)
+    if serial_decisions != batched_decisions:
+        raise AssertionError("batched replay changed decisions vs serial")
+    count = len(requests)
+    return {
+        "requests": count,
+        "calls": len(trace.times),
+        "batch_size": batch.max_batch,
+        "serial_seconds": best_serial,
+        "batched_seconds": best_batched,
+        "serial_decisions_per_sec": count / best_serial,
+        "batched_decisions_per_sec": count / best_batched,
+        "speedup": best_serial / best_batched,
+        "network_blocking": aggregate_decisions(
+            trace, batched_decisions, warmup
+        ).network_blocking,
+    }
+
+
+def measure_overload(
+    network,
+    policy,
+    trace: ArrivalTrace,
+    overload_factor: float = 2.0,
+    warmup: float = 10.0,
+) -> dict:
+    """Replay under a token rate set ``overload_factor`` below the offered
+    request rate, and report how the service protected itself.
+
+    The token bucket runs on request (virtual) time, so the overload
+    trajectory is deterministic for a fixed trace.  Returns shed/degraded
+    fractions, the recorded mode transitions, and the decision-latency
+    p99 from the engine's own histogram — the number that must stay
+    bounded while the queue does.
+    """
+    from .shed import OverloadConfig, OverloadControl
+
+    if overload_factor <= 0:
+        raise ValueError("overload_factor must be positive")
+    requests = trace_requests(trace)
+    admits = len(trace.times)
+    offered_rate = admits / trace.duration
+    control = OverloadControl(
+        OverloadConfig(rate=offered_rate / overload_factor, burst=64.0)
+    )
+    engine = RequestEngine(network, policy, overload=control)
+    report = replay_trace(engine, trace, warmup=warmup)
+    latency = engine.telemetry.histogram("serve_decision_seconds")
+    answered = sum(1 for d in report.decisions if d.tier != "release")
+    shed = sum(1 for d in report.decisions if d.reason == "shed")
+    degraded = sum(1 for d in report.decisions if d.reason == "degraded")
+    return {
+        "requests": len(requests),
+        "offered_rate": offered_rate,
+        "token_rate": offered_rate / overload_factor,
+        "overload_factor": overload_factor,
+        "answered": answered,
+        "shed": shed,
+        "shed_fraction": shed / answered if answered else 0.0,
+        "degraded_rejections": degraded,
+        "mode_transitions": len(control.transitions),
+        "final_mode": control.mode,
+        "decision_p99_seconds": latency.quantile(0.99),
+        "decision_mean_seconds": latency.mean,
+        "wall_seconds": report.wall_seconds,
+        "decisions_per_second": report.decisions_per_second,
+    }

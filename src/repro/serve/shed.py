@@ -1,0 +1,163 @@
+"""Self-protecting overload control for the admission service.
+
+The paper's trunk-reservation idea — protect the traffic a resource was
+engineered for by turning away opportunistic work while the resource is
+stressed — applies to the serving plane itself.  Decision capacity is the
+resource; primary-tier admission queries are the engineered traffic;
+alternate-path exploration is the opportunistic tier.  Under load the
+service degrades in the same order the network does:
+
+* **normal** — full two-tier routing;
+* **degraded** — the reserve is breached: queries are still answered but
+  alternate-path exploration is disabled (primary-only routing), i.e.
+  alternate-tier *queries* are shed first;
+* **shed** — the bucket is empty or the queue is at its hard limit: the
+  query is rejected outright with ``reason="shed"`` so the queue stays
+  bounded, primaries being the last thing to go.
+
+Rates are enforced by a token bucket over *request* time (the ``time``
+field of the request stream, which a trace replay supplies from the trace
+itself), so overload behaviour is deterministic for a seeded workload —
+the same discipline the simulators use for every other source of
+randomness.  When requests carry no timestamps the engine falls back to
+the wall clock and the control becomes a live rate limiter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OverloadConfig", "TokenBucket", "OverloadControl", "MODES"]
+
+#: Service modes, ordered by severity.
+MODES = ("normal", "degraded", "shed")
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Tuning of the service's self-protection.
+
+    ``rate``
+        Sustained admission queries per unit of request time the service
+        will fully route.  ``float("inf")`` disables rate shedding.
+    ``burst``
+        Token-bucket depth: how far above ``rate`` a transient may go
+        before degradation starts.
+    ``alternate_reserve``
+        Fraction of ``burst`` reserved for primary-only service — the
+        serving-plane analogue of the paper's protection level ``r``.
+        While the bucket holds fewer than ``alternate_reserve * burst``
+        tokens, alternate-path exploration is disabled.
+    ``queue_limit``
+        Hard cap on queued-but-undecided requests; submissions beyond it
+        are answered ``shed`` immediately instead of queueing.
+    ``queue_reserve``
+        Queue headroom at which degradation starts: alternate exploration
+        stops once the queue depth reaches ``queue_limit - queue_reserve``.
+    """
+
+    rate: float = float("inf")
+    burst: float = 256.0
+    alternate_reserve: float = 0.25
+    queue_limit: int = 4096
+    queue_reserve: int = 1024
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("rate must be positive (inf disables shedding)")
+        if self.burst < 1:
+            raise ValueError("burst must be at least one token")
+        if not 0.0 <= self.alternate_reserve < 1.0:
+            raise ValueError("alternate_reserve must lie in [0, 1)")
+        if self.queue_limit < 1:
+            raise ValueError("queue_limit must be positive")
+        if not 0 <= self.queue_reserve < self.queue_limit:
+            raise ValueError("queue_reserve must lie in [0, queue_limit)")
+
+
+class TokenBucket:
+    """A deterministic token bucket over caller-supplied time.
+
+    ``refill`` folds elapsed time into the balance; ``consume`` spends one
+    token.  Callers decide *whether* to spend based on the balance — the
+    reserve logic lives in :class:`OverloadControl`.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "last_time")
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.last_time: float | None = None
+
+    def refill(self, now: float) -> float:
+        """Advance to ``now`` (monotone per bucket) and return the balance."""
+        last = self.last_time
+        if last is None or now <= last:
+            self.last_time = now if last is None else max(last, now)
+            return self.tokens
+        self.tokens = min(self.burst, self.tokens + (now - last) * self.rate)
+        self.last_time = now
+        return self.tokens
+
+    def consume(self, amount: float = 1.0) -> None:
+        self.tokens -= amount
+
+
+@dataclass
+class OverloadControl:
+    """Mode classification for one admission query at a time.
+
+    :meth:`classify` refills the bucket to the request's time, picks the
+    mode, and consumes a token for every query that will actually be
+    routed (``normal`` and ``degraded``); shed queries cost nothing, which
+    is what lets the service recover while still answering.  Mode
+    transitions are recorded in :attr:`transitions` so tests and telemetry
+    can see the degrade -> shed -> recover trajectory explicitly.
+    """
+
+    config: OverloadConfig = field(default_factory=OverloadConfig)
+    bucket: TokenBucket = field(init=False)
+    mode: str = field(init=False, default="normal")
+    transitions: list[tuple[float, str]] = field(init=False, default_factory=list)
+    shed_total: int = field(init=False, default=0)
+    degraded_total: int = field(init=False, default=0)
+
+    def __post_init__(self):
+        self.bucket = TokenBucket(self.config.rate, self.config.burst)
+
+    @property
+    def reserve_tokens(self) -> float:
+        return self.config.alternate_reserve * self.config.burst
+
+    def classify(self, now: float, queue_depth: int = 0) -> str:
+        """Mode for one query arriving at ``now`` with the queue this deep."""
+        config = self.config
+        if queue_depth >= config.queue_limit:
+            return self._enter(now, "shed")
+        tokens = (
+            self.bucket.refill(now) if config.rate != float("inf")
+            else float("inf")
+        )
+        if tokens < 1.0:
+            return self._enter(now, "shed")
+        mode = "normal"
+        if (
+            tokens < 1.0 + self.reserve_tokens
+            or queue_depth >= config.queue_limit - config.queue_reserve
+        ):
+            mode = "degraded"
+        if config.rate != float("inf"):
+            self.bucket.consume()
+        return self._enter(now, mode)
+
+    def _enter(self, now: float, mode: str) -> str:
+        if mode == "shed":
+            self.shed_total += 1
+        elif mode == "degraded":
+            self.degraded_total += 1
+        if mode != self.mode:
+            self.mode = mode
+            self.transitions.append((now, mode))
+        return mode

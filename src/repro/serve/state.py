@@ -1,0 +1,216 @@
+"""Mutable live network state for the admission-control service.
+
+The offline simulators rebuild occupancy from scratch per run; the serving
+plane instead holds one long-lived :class:`NetworkState`: per-link
+occupancies in a NumPy array with O(1) per-link admit/release, the
+per-link alternate-admission thresholds of the compiled policy, and —
+optionally — the same online protection-level adaptation loop as
+:class:`repro.routing.adaptive.AdaptiveProtectionSimulator`: links count
+the primary set-ups that fly past them, periodically fold the measured
+rate into an EWMA demand estimate, and recompute their Equation-15
+protection levels via :func:`repro.core.protection.min_protection_level`.
+
+With adaptation off (the default) the thresholds are exactly the policy's
+static ones, which is what makes a trace replay through the engine
+bit-comparable to :class:`repro.sim.simulator.LossNetworkSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.protection import min_protection_level
+from ..routing.base import RoutingPolicy
+from ..topology.graph import Network
+
+__all__ = ["AdaptationConfig", "NetworkState", "ThresholdRefresh"]
+
+#: Disciplines the serving plane speaks: the paper's threshold family.
+_SUPPORTED_DISCIPLINES = ("threshold", "length-threshold")
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Online protection refresh: the adaptive simulator's knobs, served.
+
+    Every ``update_interval`` units of request time, each link folds its
+    observed primary set-up rate into an EWMA estimate with weight
+    ``ewma_weight`` and recomputes its protection level for ``max_hops``.
+    ``initial_loads`` seeds the estimates (``None`` = cold start: links
+    begin unprotected and harden as they learn).
+    """
+
+    update_interval: float = 5.0
+    ewma_weight: float = 0.3
+    max_hops: int = 6
+    initial_loads: tuple[float, ...] | None = None
+
+    def __post_init__(self):
+        if self.update_interval <= 0:
+            raise ValueError("update_interval must be positive")
+        if not 0 < self.ewma_weight <= 1:
+            raise ValueError("ewma_weight must lie in (0, 1]")
+        if self.max_hops < 1:
+            raise ValueError("max_hops must be >= 1")
+
+
+@dataclass(frozen=True)
+class ThresholdRefresh:
+    """One adaptation step: when it fired and what the links adopted."""
+
+    time: float
+    estimated_loads: np.ndarray
+    protection_levels: np.ndarray
+
+
+class NetworkState:
+    """Occupancies + thresholds for one network under one compiled policy.
+
+    ``occupancy`` is the authoritative per-link circuit count
+    (``np.int64``); :meth:`admit` and :meth:`release` book and free one
+    path in O(path length).  ``alt_thresholds`` is the mutable per-link
+    alternate-admission bound (``C - r``); for the ``length-threshold``
+    discipline :attr:`length_thresholds` carries one bound array per
+    alternate hop count instead.
+
+    The request engine's batch loop works on list snapshots of these
+    arrays and writes them back per batch (:meth:`arrays` /
+    :meth:`absorb`), so the NumPy views are always consistent *between*
+    batches — which is when telemetry and adaptation read them.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        policy: RoutingPolicy,
+        adaptation: AdaptationConfig | None = None,
+    ):
+        if policy.discipline not in _SUPPORTED_DISCIPLINES:
+            raise ValueError(
+                f"serve supports disciplines {_SUPPORTED_DISCIPLINES}, got "
+                f"{policy.discipline!r} (policy {policy.name!r})"
+            )
+        if policy.network.num_links != network.num_links:
+            raise ValueError("policy was compiled for a different network")
+        self.network = network
+        self.policy = policy
+        self.capacities = network.capacities().astype(np.int64)
+        self.occupancy = np.zeros(network.num_links, dtype=np.int64)
+        if policy.discipline == "threshold":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            self.alt_thresholds = np.asarray(
+                policy.alt_thresholds, dtype=np.int64
+            ).copy()
+            self.length_thresholds: dict[int, np.ndarray] | None = None
+        else:
+            tables = getattr(policy, "length_thresholds", None)
+            if tables is None:
+                raise ValueError(f"policy {policy.name!r} lacks length thresholds")
+            self.length_thresholds = {
+                int(length): np.asarray(row, dtype=np.int64).copy()
+                for length, row in tables.items()
+            }
+            # The engine still exposes a flat bound for telemetry; use the
+            # laxest table (longest paths face the tightest thresholds).
+            self.alt_thresholds = self.length_thresholds[
+                min(self.length_thresholds)
+            ].copy()
+        self.adaptation = adaptation
+        self.refreshes: list[ThresholdRefresh] = []
+        if adaptation is not None:
+            if policy.discipline != "threshold":
+                raise ValueError(
+                    "online threshold adaptation requires the 'threshold' "
+                    "discipline"
+                )
+            if adaptation.initial_loads is None:
+                self._estimates = np.zeros(network.num_links, dtype=float)
+            else:
+                self._estimates = np.asarray(adaptation.initial_loads, dtype=float)
+                if self._estimates.shape != (network.num_links,):
+                    raise ValueError("initial_loads must be per-link")
+            self.setup_counts = np.zeros(network.num_links, dtype=np.int64)
+            self.next_refresh: float | None = adaptation.update_interval
+            self._apply_levels(0.0)
+        else:
+            self.next_refresh = None
+
+    # ------------------------------------------------------------- admission
+
+    def admit(self, path: tuple[int, ...], width: int = 1) -> None:
+        """Book ``width`` circuits on every link of ``path``."""
+        for link in path:
+            self.occupancy[link] += width
+
+    def release(self, path: tuple[int, ...], width: int = 1) -> None:
+        """Free ``width`` circuits on every link of ``path``."""
+        for link in path:
+            self.occupancy[link] -= width
+
+    def utilization(self) -> float:
+        """Network-wide occupied fraction of all circuits."""
+        total = int(self.capacities.sum())
+        return float(self.occupancy.sum()) / total if total else 0.0
+
+    # ---------------------------------------------------- batch-loop bridge
+
+    def arrays(self) -> tuple[list[int], list[int], dict[int, list[int]] | None]:
+        """List snapshots of (occupancy, thresholds, length tables)."""
+        tables = (
+            None if self.length_thresholds is None
+            else {h: row.tolist() for h, row in self.length_thresholds.items()}
+        )
+        return self.occupancy.tolist(), self.alt_thresholds.tolist(), tables
+
+    def absorb(self, occupancy: list[int], setups: list[int] | None = None) -> None:
+        """Write one batch's occupancy (and set-up counts) back."""
+        self.occupancy[:] = occupancy
+        if setups is not None and self.adaptation is not None:
+            self.setup_counts += np.asarray(setups, dtype=np.int64)
+
+    # ------------------------------------------------------------ adaptation
+
+    def _apply_levels(self, now: float) -> None:
+        capacities = self.capacities
+        levels = np.array(
+            [
+                min_protection_level(
+                    float(self._estimates[i]), int(capacities[i]),
+                    self.adaptation.max_hops,
+                )
+                if capacities[i] > 0 else 0
+                for i in range(capacities.size)
+            ],
+            dtype=np.int64,
+        )
+        self.alt_thresholds[:] = capacities - levels
+        self.refreshes.append(
+            ThresholdRefresh(
+                time=now,
+                estimated_loads=self._estimates.copy(),
+                protection_levels=levels,
+            )
+        )
+
+    def maybe_refresh(self, now: float) -> bool:
+        """Run every adaptation window boundary at or before ``now``.
+
+        Returns True if any refresh fired (the engine then re-snapshots its
+        threshold lists).  No-op when adaptation is off.
+        """
+        if self.next_refresh is None or now < self.next_refresh:
+            return False
+        config = self.adaptation
+        while now >= self.next_refresh:
+            measured = self.setup_counts / config.update_interval
+            self._estimates = (
+                (1.0 - config.ewma_weight) * self._estimates
+                + config.ewma_weight * measured
+            )
+            self.setup_counts[:] = 0
+            self._apply_levels(self.next_refresh)
+            self.next_refresh += config.update_interval
+        return True

@@ -1,0 +1,224 @@
+"""Live service telemetry: counters, gauges, histograms, and their exports.
+
+The serving plane needs observability that the offline subsystems never
+did: admit/shed rates *per tier*, queue depth, decision latency — read
+while the service runs, not after it exits.  This module is a tiny
+dependency-free metrics registry in the Prometheus idiom:
+
+* :class:`Counter` — monotone event counts (``serve_decisions_total``);
+* :class:`Gauge` — instantaneous values (``serve_queue_depth``);
+* :class:`Histogram` — fixed-bucket latency distributions with quantile
+  estimates (``serve_decision_seconds``);
+* :class:`MetricsRegistry` — the namespace holding them, rendering a
+  ``/metrics``-style text dump and publishing JSONL snapshots over the
+  :class:`repro.lab.events.EventBus` (the same bus the lab scheduler logs
+  to, so one tail follows both offline studies and the live service).
+
+Metrics support Prometheus-style labels: ``registry.counter("x", tier=
+"primary")`` and ``registry.counter("x", tier="alternate")`` are distinct
+series under one family name.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lab.events import EventBus
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Decision-latency buckets (seconds): 1us .. 100ms, log-ish spaced.  The
+#: admission decision itself is sub-microsecond in a batch; the upper
+#: buckets exist to make queueing/overload visible.
+DEFAULT_LATENCY_BUCKETS = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1,
+)
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """An instantaneous value that may move in either direction."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative bucket counts.
+
+    ``buckets`` are the inclusive upper bounds of each bucket; values above
+    the last bound land in the implicit ``+Inf`` bucket.  ``quantile`` is a
+    bucket-resolution estimate (the upper bound of the bucket holding the
+    requested rank) — coarse but monotone and cheap, which is what an
+    overload guardrail needs.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS):
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        if not self.bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts = [0] * (len(self.bounds) + 1)  # last = +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` identical observations (batch amortization)."""
+        if count <= 0:
+            return
+        self.counts[bisect_left(self.bounds, value)] += count
+        self.total += count
+        self.sum += value * count
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket containing the ``q``-quantile rank."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie in [0, 1]")
+        if self.total == 0:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for bound, count in zip(self.bounds, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+def _render_labels(labels: tuple) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return "{" + inner + "}"
+
+
+class MetricsRegistry:
+    """A namespace of labelled metric series with text and JSONL exports.
+
+    ``counter``/``gauge``/``histogram`` create-or-return the series for
+    ``(name, labels)``, so hot paths can cache the returned object and
+    casual callers can re-look it up.  ``render_text`` emits the familiar
+    ``name{label="v"} value`` dump; ``publish`` emits one flat snapshot
+    event (kind ``serve_metrics``) on a bound :class:`EventBus`.
+    """
+
+    def __init__(self):
+        self._series: dict[tuple, Counter | Gauge | Histogram] = {}
+        self._bus: "EventBus | None" = None
+
+    def bind(self, bus: "EventBus") -> None:
+        """Attach the JSONL event bus ``publish`` snapshots go to."""
+        self._bus = bus
+
+    @property
+    def bus(self) -> "EventBus | None":
+        return self._bus
+
+    def _get(self, name: str, labels: dict, factory):
+        key = _series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = factory()
+            self._series[key] = series
+        elif not isinstance(series, factory if isinstance(factory, type) else Histogram):
+            raise TypeError(f"metric {name!r} already registered with another type")
+        return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(name, labels, Counter)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(name, labels, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS, **labels
+    ) -> Histogram:
+        return self._get(name, labels, lambda: Histogram(buckets))
+
+    def snapshot(self) -> dict:
+        """Flat ``{series-name: value}`` view (histograms: count/sum/p50/p99)."""
+        out: dict[str, float] = {}
+        for (name, labels), series in sorted(self._series.items()):
+            rendered = name + _render_labels(labels)
+            if isinstance(series, Histogram):
+                out[rendered + "_count"] = float(series.total)
+                out[rendered + "_sum"] = series.sum
+                out[rendered + "_p50"] = series.quantile(0.5)
+                out[rendered + "_p99"] = series.quantile(0.99)
+            else:
+                out[rendered] = series.value
+        return out
+
+    def render_text(self) -> str:
+        """``/metrics``-style text dump, one series per line."""
+        lines: list[str] = []
+        for (name, labels), series in sorted(self._series.items()):
+            suffix = _render_labels(labels)
+            if isinstance(series, Histogram):
+                cumulative = 0
+                for bound, count in zip(series.bounds, series.counts):
+                    cumulative += count
+                    bucket_labels = labels + (("le", f"{bound:g}"),)
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                    )
+                inf_labels = labels + (("le", "+Inf"),)
+                lines.append(f"{name}_bucket{_render_labels(inf_labels)} {series.total}")
+                lines.append(f"{name}_count{suffix} {series.total}")
+                lines.append(f"{name}_sum{suffix} {series.sum:g}")
+            else:
+                lines.append(f"{name}{suffix} {series.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def publish(self, **extra) -> dict | None:
+        """Emit one ``serve_metrics`` snapshot on the bound bus (if any)."""
+        if self._bus is None:
+            return None
+        return self._bus.emit("serve_metrics", **self.snapshot(), **extra)

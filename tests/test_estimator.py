@@ -50,6 +50,17 @@ class TestEwmaRateEstimator:
         with pytest.raises(ValueError):
             EwmaRateEstimator(time_constant=1.0, initial_rate=-1.0)
 
+    def test_zero_events_estimates_zero(self):
+        # A cold estimator that never observes anything must report exactly
+        # zero at any query time, not NaN or a stale initial value.
+        estimator = EwmaRateEstimator(time_constant=3.0)
+        assert estimator.rate(0.0) == 0.0
+        assert estimator.rate(100.0) == 0.0
+        # Querying never perturbs the state: an event after long silence
+        # still contributes its full impulse.
+        estimator.observe(100.0)
+        assert estimator.rate(100.0) == pytest.approx(1.0 / 3.0)
+
 
 class TestEstimateLoadsFromTrace:
     def test_estimates_approach_equation_one(self, quad_network, quad_table):
@@ -84,6 +95,21 @@ class TestEstimateLoadsFromTrace:
         trace = generate_trace(traffic, 110.0, seed=2)
         estimate = estimate_loads_from_trace(net, policy, trace, warmup=10.0)
         assert estimate.max() > 15.0
+
+    def test_empty_trace_estimates_all_zero(self, quad_network, quad_table):
+        # Zero demand generates a trace with no arrivals at all; the
+        # estimator must return finite all-zero loads, not divide by a
+        # zero count or choke on the empty arrays.
+        traffic = uniform_traffic(4, 0.0)
+        policy = SinglePathRouting(quad_network, quad_table)
+        trace = generate_trace(traffic, 20.0, seed=0)
+        assert trace.num_calls == 0
+        estimate = estimate_loads_from_trace(
+            quad_network, policy, trace, warmup=10.0
+        )
+        assert estimate.shape == (quad_network.num_links,)
+        assert np.all(estimate == 0.0)
+        assert np.all(np.isfinite(estimate))
 
     def test_bad_warmup_rejected(self, quad_network, quad_table):
         traffic = uniform_traffic(4, 10.0)
