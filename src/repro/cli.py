@@ -595,14 +595,17 @@ def _serve_pieces(args: argparse.Namespace):
     from .api import Scenario
     from .serve.state import _SUPPORTED_DISCIPLINES
 
-    scenario = Scenario(
-        topology=args.topology,
-        traffic=_parse_lab_traffic(args.traffic),
-        policy=args.policy,
-        max_hops=args.hops,
-        load_scale=args.load_scale,
-    )
-    policy = scenario.build_policy()
+    try:
+        scenario = Scenario(
+            topology=args.topology,
+            traffic=_parse_lab_traffic(args.traffic),
+            policy=args.policy,
+            max_hops=args.hops,
+            load_scale=args.load_scale,
+        )
+        policy = scenario.build_policy()
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
     # Checked here (not only in NetworkState) so `serve bench`, which builds
     # its own engines internally, fails with the same one-line message.
     if policy.discipline not in _SUPPORTED_DISCIPLINES:
@@ -653,6 +656,7 @@ def _serve_engine(args: argparse.Namespace, network, policy):
 
 def _cmd_serve_run(args: argparse.Namespace) -> int:
     import asyncio
+    import signal
 
     from .serve import ServeServer
 
@@ -663,15 +667,33 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         server = ServeServer(
             engine, host=args.host, port=args.port,
             publish_interval=args.publish_every,
+            read_timeout=args.read_timeout if args.read_timeout > 0 else None,
+            max_line_bytes=args.max_line_bytes,
         )
         host, port = await server.start()
         print(
             f"serving {scenario.topology}/{args.policy} on {host}:{port} "
-            f"(batch {engine.batch.max_batch}, JSON lines; Ctrl-C to drain)"
+            f"(batch {engine.batch.max_batch}, JSON lines; "
+            "SIGINT/SIGTERM to drain)"
         )
+        # A signal flips this event; the server then drains — queued
+        # requests are flushed and answered, the final telemetry phases
+        # (drain, shutdown) are published — and the process exits 0.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loop
+                continue
+            installed.append(signum)
         try:
-            await asyncio.Event().wait()
+            await stop.wait()
+            print("signal received: draining")
         finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
             await server.stop()
             print(
                 f"drained: {engine.decisions_total} decisions, "
@@ -680,7 +702,7 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
 
     try:
         asyncio.run(serve())
-    except KeyboardInterrupt:
+    except KeyboardInterrupt:  # pragma: no cover - loop without signal handlers
         pass
     finally:
         bus = engine.telemetry.bus
@@ -798,6 +820,90 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"final mode {overload['final_mode']}, "
         f"decision p99 {overload['decision_p99_seconds'] * 1e6:.1f}us"
     )
+    return 0
+
+
+def _cmd_serve_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ClusterConfig, ClusterRouter, replay_trace, replay_trace_cluster
+    from .serve.engine import RequestEngine
+    from .sim.trace import generate_trace
+
+    network, policy, scenario = _serve_pieces(args)
+    trace = generate_trace(
+        scenario.traffic_matrix, args.duration + args.warmup, seed=args.seed
+    )
+    try:
+        config = ClusterConfig(
+            num_shards=args.shards,
+            mode=args.mode,
+            journal_path=args.journal,
+        )
+        router = ClusterRouter(network, policy, config)
+    except ValueError as exc:
+        raise SystemExit(f"serve cluster: {exc}")
+
+    async def run():
+        async with router:
+            report = await replay_trace_cluster(
+                router, trace, warmup=args.warmup, batch_size=args.batch
+            )
+            audit = await router.audit()
+            status = router.shard_status()
+        return report, audit, status
+
+    report, audit, status = asyncio.run(run())
+    result = report.result
+    verified = None
+    if args.mode == "ordered":
+        # Ordered mode promises bit-equivalence with the single-process
+        # engine; pipelined mode reorders concurrent batches, so there is
+        # no oracle to check against.
+        reference = replay_trace(
+            RequestEngine(network, policy), trace, warmup=args.warmup
+        )
+        verified = report.decisions == reference.decisions
+    clean = bool(audit["consistent"]) and not audit["leaked_circuits"]
+    if args.json:
+        print(json.dumps({
+            "schema": "repro-serve-cluster-v1",
+            "num_shards": args.shards,
+            "mode": args.mode,
+            "calls": len(trace.times),
+            "requests": report.requests,
+            "network_blocking": result.network_blocking,
+            "alternate_fraction": result.alternate_fraction,
+            "decisions_per_second": report.decisions_per_second,
+            "wall_seconds": report.wall_seconds,
+            "engine_equivalent": verified,
+            "audit": audit,
+            "shards": status,
+        }, indent=2, sort_keys=True))
+        return 0 if verified in (None, True) and clean else 4
+    print(
+        f"replayed {len(trace.times)} calls ({report.requests} requests) "
+        f"across {args.shards} {args.mode} shards at "
+        f"{report.decisions_per_second:,.0f} decisions/sec"
+    )
+    print(
+        f"blocking {result.network_blocking:.4f}, "
+        f"alternate fraction {result.alternate_fraction:.4f}"
+    )
+    print(
+        f"audit: {'consistent' if audit['consistent'] else 'INCONSISTENT'}, "
+        f"{audit['leaked_circuits']} leaked circuits, "
+        f"{audit['held_calls']} calls still held"
+    )
+    if verified is not None:
+        print(
+            "engine equivalence: "
+            + ("decisions match bit for bit" if verified else "MISMATCH")
+        )
+    else:
+        print("engine equivalence: skipped (pipelined mode reorders batches)")
+    if verified is False or not clean:
+        return 4
     return 0
 
 
@@ -974,6 +1080,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_run.add_argument("--port", type=int, default=7411)
     serve_run.add_argument("--publish-every", type=float, default=None,
                            help="telemetry snapshot period in seconds")
+    serve_run.add_argument("--read-timeout", type=float, default=30.0,
+                           help="disconnect a connection idle this many "
+                                "seconds (0 disables)")
+    serve_run.add_argument("--max-line-bytes", type=_positive_int,
+                           default=1 << 16,
+                           help="disconnect on request lines longer than this")
     serve_run.set_defaults(func=_cmd_serve_run)
 
     serve_replay = serve_sub.add_parser(
@@ -1003,7 +1115,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="emit machine-readable JSON")
     serve_bench.set_defaults(func=_cmd_serve_bench)
 
-    for cmd in (serve_run, serve_replay, serve_bench):
+    serve_cluster = serve_sub.add_parser(
+        "cluster",
+        help="replay a trace through the sharded cluster; audit + verify",
+    )
+    serve_cluster.add_argument("--shards", type=_positive_int, default=4,
+                               help="shard worker processes")
+    serve_cluster.add_argument("--mode", choices=("ordered", "pipelined"),
+                               default="ordered",
+                               help="ordered is engine-bit-identical; "
+                                    "pipelined overlaps waves for throughput")
+    serve_cluster.add_argument("--duration", type=float, default=20.0,
+                               help="measured trace time units")
+    serve_cluster.add_argument("--warmup", type=float, default=5.0)
+    serve_cluster.add_argument("--seed", type=int, default=0)
+    serve_cluster.add_argument("--journal", default=None,
+                               help="mirror the reservation journal to this "
+                                    "JSONL path")
+    serve_cluster.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    serve_cluster.set_defaults(func=_cmd_serve_cluster)
+
+    for cmd in (serve_run, serve_replay, serve_bench, serve_cluster):
         cmd.add_argument("--topology", default="nsfnet",
                          help="nsfnet or quadrangle (default nsfnet)")
         cmd.add_argument("--traffic", default="nominal",

@@ -1,0 +1,117 @@
+"""Deterministic fault injection for the sharded admission cluster.
+
+Chaos here is *seeded*, not random-in-the-wild: every fault the harness
+injects is a pure function of the chaos seed and of deterministic
+progress counters (messages sent, operations processed), never of wall
+time.  Two runs of the same workload with the same :class:`ChaosConfig`
+inject the same faults at the same points, which is what lets
+``tools/cluster_smoke.py`` assert exact recovery invariants instead of
+eyeballing flakes.
+
+Three fault families, mirroring what kills real clusters:
+
+* **worker crashes** — a shard worker calls ``os._exit`` after processing
+  exactly ``kill_after_ops`` commands (a deterministic stand-in for
+  SIGKILL mid-operation); the supervisor must notice and restart it;
+* **message loss / delay** — the router's transport drops or delays
+  frames to and from shards, decided per frame by a seeded RNG (the
+  cluster's retry/hold-timer policies must absorb it);
+* **slow shards** — a worker sleeps ``slow_seconds`` before every
+  command, modelling a GC-pausing or CPU-starved worker that is alive but
+  late (the heartbeat monitor must distinguish slow from dead, or restart
+  it if it falls past the miss budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ChaosConfig", "MessageChaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One cluster run's seeded fault plan.
+
+    ``kill_after_ops`` maps shard id to the command count at which that
+    worker self-crashes (one-shot: the supervisor's restarted worker runs
+    clean).  ``slow_seconds`` maps shard id to a per-command sleep.
+    ``drop_probability`` / ``delay_probability`` apply per router<->shard
+    frame, decided by a ``seed``-keyed RNG; delayed frames wait
+    ``delay_seconds`` before delivery.  Client traffic is never dropped —
+    chaos attacks the cluster's internals, not the workload.
+    """
+
+    seed: int = 0
+    kill_after_ops: dict[int, int] = field(default_factory=dict)
+    slow_seconds: dict[int, float] = field(default_factory=dict)
+    drop_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_seconds: float = 0.05
+
+    def __post_init__(self):
+        if not 0.0 <= self.drop_probability < 1.0:
+            raise ValueError("drop_probability must lie in [0, 1)")
+        if not 0.0 <= self.delay_probability < 1.0:
+            raise ValueError("delay_probability must lie in [0, 1)")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        for shard, ops in self.kill_after_ops.items():
+            if ops < 0:
+                raise ValueError(f"kill_after_ops[{shard}] must be non-negative")
+        for shard, sleep in self.slow_seconds.items():
+            if sleep < 0:
+                raise ValueError(f"slow_seconds[{shard}] must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        return bool(
+            self.kill_after_ops
+            or self.slow_seconds
+            or self.drop_probability
+            or self.delay_probability
+        )
+
+    def worker_plan(self, shard_id: int) -> dict:
+        """The picklable slice of the plan one worker enforces on itself."""
+        return {
+            "kill_after_ops": self.kill_after_ops.get(shard_id),
+            "slow_seconds": self.slow_seconds.get(shard_id, 0.0),
+        }
+
+
+class MessageChaos:
+    """Seeded per-frame drop/delay decisions for the router's transport.
+
+    One instance lives router-side; every candidate frame advances the
+    RNG exactly once via :meth:`classify`, so the drop/delay pattern is a
+    function of (seed, frame index) alone.  Frames to and from a shard
+    share the stream — determinism needs a single total order, which the
+    router's single-threaded event loop provides.
+    """
+
+    __slots__ = ("config", "_rng", "decisions")
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+        self._rng = np.random.default_rng(np.random.PCG64(config.seed))
+        #: (dropped, delayed) counters, exposed to telemetry and the smoke.
+        self.decisions = {"passed": 0, "dropped": 0, "delayed": 0}
+
+    def classify(self) -> str:
+        """``"drop"``, ``"delay"``, or ``"pass"`` for the next frame."""
+        config = self.config
+        if config.drop_probability == 0.0 and config.delay_probability == 0.0:
+            self.decisions["passed"] += 1
+            return "pass"
+        u = float(self._rng.random())
+        if u < config.drop_probability:
+            self.decisions["dropped"] += 1
+            return "drop"
+        if u < config.drop_probability + config.delay_probability:
+            self.decisions["delayed"] += 1
+            return "delay"
+        self.decisions["passed"] += 1
+        return "pass"

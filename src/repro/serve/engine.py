@@ -46,6 +46,8 @@ __all__ = [
     "Decision",
     "BatchConfig",
     "RequestEngine",
+    "compile_routes",
+    "pick_route",
 ]
 
 #: Batch-size histogram bounds (powers of two up to the sane maximum).
@@ -102,6 +104,46 @@ class Decision:
             "tier": self.tier,
             "reason": self.reason,
         }
+
+
+def compile_routes(policy: RoutingPolicy) -> dict:
+    """Per-O-D dispatch entries from the policy's compiled choices.
+
+    Mirrors the simulator's precompilation: deterministic pairs carry a
+    bare ``("single", primary, alternates)`` entry, bifurcated pairs the
+    candidate list plus cumulative probabilities.  Shared by the
+    in-process engine and the cluster router so both planes route one
+    request identically.
+    """
+    routes: dict[tuple[int, int], tuple] = {}
+    for od, options in policy.choices.items():
+        if not options:
+            continue
+        if len(options) == 1:
+            routes[od] = ("single", options[0].primary, options[0].alternates)
+        else:
+            routes[od] = (
+                "multi",
+                [(c.primary, c.alternates) for c in options],
+                policy.cum_probs[od].tolist(),
+            )
+    return routes
+
+
+def pick_route(entry: tuple, uniform: float) -> tuple:
+    """Resolve one dispatch entry to ``(primary, alternates)``.
+
+    Bifurcated pairs are picked by the request's uniform variate against
+    the cumulative probabilities — byte-compatible with the simulator's
+    common-random-numbers choice.
+    """
+    if entry[0] == "single":
+        return entry[1], entry[2]
+    options, cum = entry[1], entry[2]
+    pick = 0
+    while pick < len(cum) - 1 and uniform >= cum[pick]:
+        pick += 1
+    return options[pick]
 
 
 @dataclass(frozen=True)
@@ -177,27 +219,9 @@ class RequestEngine:
         self._m_util = registry.gauge("serve_utilization")
         self._m_held = registry.gauge("serve_held_calls")
 
-    @staticmethod
-    def _compile_routes(policy: RoutingPolicy) -> dict:
-        """Per-O-D dispatch entries from the policy's compiled choices.
-
-        Mirrors the simulator's precompilation: deterministic pairs carry a
-        bare ``("single", primary, alternates)`` entry, bifurcated pairs
-        the candidate list plus cumulative probabilities.
-        """
-        routes: dict[tuple[int, int], tuple] = {}
-        for od, options in policy.choices.items():
-            if not options:
-                continue
-            if len(options) == 1:
-                routes[od] = ("single", options[0].primary, options[0].alternates)
-            else:
-                routes[od] = (
-                    "multi",
-                    [(c.primary, c.alternates) for c in options],
-                    policy.cum_probs[od].tolist(),
-                )
-        return routes
+    #: Kept as a staticmethod alias for callers that reached through the
+    #: class; the shared implementation is module-level :func:`compile_routes`.
+    _compile_routes = staticmethod(compile_routes)
 
     # ----------------------------------------------------------- public API
 

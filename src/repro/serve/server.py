@@ -120,6 +120,11 @@ class ServeServer:
     ``port=0`` binds an ephemeral port (read :attr:`port` after
     :meth:`start`).  ``publish_interval`` (seconds) periodically snapshots
     the engine's telemetry onto its bound event bus while serving.
+
+    Two per-connection abuse bounds: a line longer than
+    ``max_line_bytes`` or (with ``read_timeout`` set) a connection idle
+    past the timeout gets one final error response and is disconnected —
+    a stalled or hostile client never holds a reader task forever.
     """
 
     def __init__(
@@ -128,11 +133,19 @@ class ServeServer:
         host: str = "127.0.0.1",
         port: int = 0,
         publish_interval: float | None = None,
+        read_timeout: float | None = None,
+        max_line_bytes: int = 1 << 16,
     ):
+        if read_timeout is not None and read_timeout <= 0:
+            raise ValueError("read_timeout must be positive when set")
+        if max_line_bytes < 2:
+            raise ValueError("max_line_bytes must allow at least one byte + newline")
         self.engine = engine
         self.host = host
         self.port = port
         self.publish_interval = publish_interval
+        self.read_timeout = read_timeout
+        self.max_line_bytes = max_line_bytes
         self.batcher = _MicroBatcher(engine)
         self._server: asyncio.AbstractServer | None = None
         self._publisher: asyncio.Task | None = None
@@ -145,7 +158,9 @@ class ServeServer:
         """Bind and start serving; returns the bound ``(host, port)``."""
         if self._server is not None:
             raise RuntimeError("server already started")
-        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port, limit=self.max_line_bytes
+        )
         self.port = self._server.sockets[0].getsockname()[1]
         if self.publish_interval is not None:
             self._publisher = asyncio.create_task(self._publish_loop())
@@ -200,7 +215,25 @@ class ServeServer:
         pump = asyncio.create_task(self._pump(outbox, writer))
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    if self.read_timeout is None:
+                        line = await reader.readline()
+                    else:
+                        line = await asyncio.wait_for(
+                            reader.readline(), self.read_timeout
+                        )
+                except TimeoutError:
+                    await outbox.put({
+                        "error": f"connection idle past {self.read_timeout:g}s"
+                    })
+                    break
+                except ValueError:
+                    # StreamReader's limit tripped: the line would exceed
+                    # max_line_bytes.  One error answer, then disconnect.
+                    await outbox.put({
+                        "error": f"line exceeds {self.max_line_bytes} bytes"
+                    })
+                    break
                 if not line:
                     break
                 payload = self._receive(line)

@@ -18,6 +18,7 @@ bit-comparable to :class:`repro.sim.simulator.LossNetworkSimulator`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -25,7 +26,30 @@ from ..core.protection import min_protection_level
 from ..routing.base import RoutingPolicy
 from ..topology.graph import Network
 
-__all__ = ["AdaptationConfig", "NetworkState", "ThresholdRefresh"]
+__all__ = [
+    "AdaptationConfig",
+    "NetworkState",
+    "ThresholdRefresh",
+    "partition_links",
+]
+
+
+def partition_links(num_links: int, num_shards: int) -> tuple[tuple[int, ...], ...]:
+    """Balanced contiguous partition of link ids across ``num_shards``.
+
+    Contiguous blocks keep both directions of a duplex trunk (adjacent in
+    every topology builder's link order) on one shard, which is what makes
+    short paths single-shard and the cluster's one-hop fast path common.
+    Shards may own zero links when ``num_shards > num_links``.
+    """
+    if num_links < 0:
+        raise ValueError("num_links must be non-negative")
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    bounds = [num_links * s // num_shards for s in range(num_shards + 1)]
+    return tuple(
+        tuple(range(bounds[s], bounds[s + 1])) for s in range(num_shards)
+    )
 
 #: Disciplines the serving plane speaks: the paper's threshold family.
 _SUPPORTED_DISCIPLINES = ("threshold", "length-threshold")
@@ -154,6 +178,31 @@ class NetworkState:
         """Network-wide occupied fraction of all circuits."""
         total = int(self.capacities.sum())
         return float(self.occupancy.sum()) / total if total else 0.0
+
+    # ------------------------------------------------------------- sharding
+
+    def shard_spec(self, shard_id: int, links: Sequence[int]) -> dict:
+        """Self-contained state slice for one cluster shard worker.
+
+        Everything a worker process needs to admit against its links —
+        capacities, alternate thresholds, per-length threshold tables —
+        as plain picklable lists keyed by *global* link id, so the worker
+        never imports the policy or the network.
+        """
+        links = tuple(int(link) for link in links)
+        return {
+            "shard_id": int(shard_id),
+            "links": links,
+            "capacities": {l: int(self.capacities[l]) for l in links},
+            "thresholds": {l: int(self.alt_thresholds[l]) for l in links},
+            "tables": (
+                None if self.length_thresholds is None
+                else {
+                    int(h): {l: int(row[l]) for l in links}
+                    for h, row in self.length_thresholds.items()
+                }
+            ),
+        }
 
     # ---------------------------------------------------- batch-loop bridge
 

@@ -1,0 +1,134 @@
+"""Shard process lifecycle: spawn, watch, restart.
+
+:class:`ShardSupervisor` owns one OS process plus one duplex pipe per
+shard of the admission cluster.  It is deliberately dumb about protocol —
+it never parses frames — and authoritative about lifecycle:
+
+* :meth:`start` forks every worker with its picklable spec (state slice,
+  hold-timer, chaos plan);
+* :meth:`restart` replaces one worker after a crash or a heartbeat
+  verdict: tear down the old pipe and process, fork a fresh worker on a
+  fresh pipe, and hand the new connection back so the router can
+  re-register it and resync shard state from its journal.  One-shot chaos
+  (``kill_after_ops``) is stripped from the respawned worker's plan — the
+  fault already fired; the replacement runs clean;
+* :meth:`stop_all` tears the whole fleet down, escalating from close to
+  ``terminate`` to ``kill`` so a wedged worker cannot hang shutdown.
+
+Liveness has two signals, split across layers: the supervisor answers
+"is the *process* alive" (:meth:`is_alive`, via the OS); the router's
+heartbeat loop answers "is the *worker* responsive" (ping round-trips),
+because a live process with a wedged loop must be restarted too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from multiprocessing.connection import Connection
+
+from .shard import shard_worker_main
+
+__all__ = ["ShardSupervisor"]
+
+
+def _worker_entry(conn: Connection, spec: dict, unwanted: list) -> None:
+    """Child entry point: drop inherited router-side pipes, then serve."""
+    for other in unwanted:
+        try:
+            other.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    shard_worker_main(conn, spec)
+
+
+class ShardSupervisor:
+    """Per-shard process + pipe registry with restart accounting."""
+
+    def __init__(self, specs: dict[int, dict], mp_context=None):
+        if not specs:
+            raise ValueError("a cluster needs at least one shard spec")
+        if mp_context is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                mp_context = multiprocessing.get_context()
+        self._ctx = mp_context
+        self.specs = {int(sid): dict(spec) for sid, spec in specs.items()}
+        self.conns: dict[int, Connection] = {}
+        self.procs: dict[int, multiprocessing.Process] = {}
+        self.restarts: dict[int, int] = {sid: 0 for sid in self.specs}
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self.specs))
+
+    def _spawn(self, shard_id: int) -> Connection:
+        router_end, worker_end = self._ctx.Pipe(duplex=True)
+        # A forked child inherits every router-side pipe open at fork time
+        # (its own included).  It must close those copies, or the router
+        # closing a pipe never reaches EOF at the worker it belongs to.
+        unwanted = list(self.conns.values()) + [router_end]
+        proc = self._ctx.Process(
+            target=_worker_entry,
+            args=(worker_end, self.specs[shard_id], unwanted),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        proc.start()
+        worker_end.close()  # the child holds its copy; drop the parent's
+        self.conns[shard_id] = router_end
+        self.procs[shard_id] = proc
+        return router_end
+
+    def start(self) -> dict[int, Connection]:
+        """Fork every shard worker; returns shard id -> router-side pipe."""
+        for shard_id in self.shard_ids:
+            if shard_id not in self.procs:
+                self._spawn(shard_id)
+        return dict(self.conns)
+
+    def is_alive(self, shard_id: int) -> bool:
+        proc = self.procs.get(shard_id)
+        return proc is not None and proc.is_alive()
+
+    def exit_code(self, shard_id: int) -> int | None:
+        proc = self.procs.get(shard_id)
+        return None if proc is None else proc.exitcode
+
+    def restart(self, shard_id: int) -> Connection:
+        """Replace one worker; returns the fresh router-side connection.
+
+        The caller (the router) must re-register the connection with its
+        event loop and resync the worker's occupancy from the journal —
+        the respawned worker starts empty.
+        """
+        self._teardown(shard_id)
+        self.restarts[shard_id] += 1
+        spec = self.specs[shard_id]
+        chaos = spec.get("chaos")
+        if chaos and chaos.get("kill_after_ops") is not None:
+            spec["chaos"] = dict(chaos, kill_after_ops=None)
+        return self._spawn(shard_id)
+
+    def _teardown(self, shard_id: int, grace: float = 0.5) -> None:
+        conn = self.conns.pop(shard_id, None)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+        proc = self.procs.pop(shard_id, None)
+        if proc is None:
+            return
+        proc.join(timeout=grace)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=grace)
+        if proc.is_alive():  # pragma: no cover - SIGTERM-immune worker
+            proc.kill()
+            proc.join(timeout=grace)
+
+    def stop_all(self) -> None:
+        """Tear down every worker (close -> terminate -> kill)."""
+        for shard_id in list(self.procs):
+            self._teardown(shard_id)

@@ -182,6 +182,20 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get(name, labels, lambda: Histogram(buckets))
 
+    def fold(self, snapshot: dict, **labels) -> None:
+        """Fold a worker's flat counter snapshot into this registry.
+
+        The cluster's shard workers keep their own plain ``{name: count}``
+        tallies (no registry, no labels) and ship them inside heartbeat /
+        snapshot replies; the router folds them here so one ``/metrics``
+        dump covers the whole cluster.  Values are treated as *absolute*
+        worker-lifetime totals: each fold sets the labelled gauge series to
+        the latest value, so restarts (which reset a worker's tallies) are
+        visible as the gauge dropping rather than silently double-counted.
+        """
+        for name, value in snapshot.items():
+            self.gauge(str(name), **labels).set(float(value))
+
     def snapshot(self) -> dict:
         """Flat ``{series-name: value}`` view (histograms: count/sum/p50/p99)."""
         out: dict[str, float] = {}

@@ -66,6 +66,7 @@ from .engine import EventQueue
 from .faultplane import FaultEvent, FaultTimeline
 from .metrics import SimulationResult
 from .rng import substream
+from .sigpolicy import CrankbackPolicy, HoldTimerPolicy, RetryPolicy
 from .trace import ArrivalTrace
 
 __all__ = ["SignalingConfig", "SignalingStats", "SignalingSimulator", "simulate_signaling"]
@@ -109,16 +110,13 @@ class SignalingConfig:
             raise ValueError("propagation_delay must be non-negative")
         if not 0.0 <= self.message_loss_probability < 1.0:
             raise ValueError("message_loss_probability must lie in [0, 1)")
-        if self.setup_timeout is not None and self.setup_timeout <= 0:
-            raise ValueError("setup_timeout must be positive when set")
-        if self.max_retries < 0:
-            raise ValueError("max_retries must be non-negative")
-        if self.backoff_factor < 1.0:
-            raise ValueError("backoff_factor must be at least 1")
-        if self.crankback_budget is not None and self.crankback_budget < 0:
-            raise ValueError("crankback_budget must be non-negative when set")
-        if self.hold_timer is not None and self.hold_timer <= 0:
-            raise ValueError("hold_timer must be positive when set")
+        # Per-knob validation lives in the shared policy objects
+        # (:mod:`repro.sim.sigpolicy`) so the cluster's cross-process
+        # protocol rejects exactly the same values; constructing them here
+        # surfaces any bad field at config time.
+        self.retry_policy
+        self.crankback_policy
+        self.hold_policy
         if self.message_loss_probability > 0 and self.setup_timeout is None:
             raise ValueError(
                 "message loss requires a setup_timeout: a lost SETUP would "
@@ -130,6 +128,25 @@ class SignalingConfig:
                 "otherwise leak partial bookings forever"
             )
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The setup timeout/backoff knobs as a shared policy object."""
+        return RetryPolicy(
+            timeout=self.setup_timeout,
+            max_retries=self.max_retries,
+            backoff_factor=self.backoff_factor,
+        )
+
+    @property
+    def crankback_policy(self) -> CrankbackPolicy:
+        """The reroute budget as a shared policy object."""
+        return CrankbackPolicy(budget=self.crankback_budget)
+
+    @property
+    def hold_policy(self) -> HoldTimerPolicy:
+        """The reservation hold-timer as a shared policy object."""
+        return HoldTimerPolicy(duration=self.hold_timer)
+
 
 @dataclass
 class SignalingStats:
@@ -138,7 +155,11 @@ class SignalingStats:
     ``setups_sent`` through ``budget_blocked`` count events of calls that
     arrived inside the measured window; ``messages_lost``,
     ``hold_expirations`` and ``dropped_calls`` are whole-run protocol
-    counters (warm-up included).
+    counters (warm-up included).  ``leaked_reservations`` is the final
+    total occupancy once every call has completed and every timer fired —
+    the run-end reservation audit, which must be zero for any correct
+    configuration (every crankback, race abort, timeout, and lost message
+    path must return its bookings).
     """
 
     setups_sent: int = 0
@@ -152,6 +173,7 @@ class SignalingStats:
     messages_lost: int = 0
     hold_expirations: int = 0
     dropped_calls: int = 0
+    leaked_reservations: int = 0
 
     @property
     def mean_setup_latency(self) -> float:
@@ -248,9 +270,10 @@ class SignalingSimulator:
         delay = config.propagation_delay
         loss_p = config.message_loss_probability
         loss_rng = substream(trace.seed, "signaling", "loss") if loss_p > 0 else None
-        timeout = config.setup_timeout
-        budget = config.crankback_budget
-        hold_timer = config.hold_timer
+        retry_policy = config.retry_policy
+        crankback_policy = config.crankback_policy
+        hold_policy = config.hold_policy
+        hold_timer = hold_policy.duration
         dynamic = self.faults is not None
 
         num_pairs = len(trace.od_pairs)
@@ -307,7 +330,7 @@ class SignalingSimulator:
         def start_attempt(q: EventQueue, call: _PendingCall) -> None:
             if call.finished:
                 return
-            if budget is not None and call.reroutes > budget:
+            if crankback_policy.exhausted(call.reroutes):
                 if call.measured:
                     stats.budget_blocked += 1
                 finish_blocked(call)
@@ -320,9 +343,9 @@ class SignalingSimulator:
             serial = call.serial
             if call.measured:
                 stats.setups_sent += 1
-            if timeout is not None:
-                wait = timeout * config.backoff_factor**call.retries
-                q.schedule_in(wait, on_timeout, (call, serial))
+            if retry_policy.enabled:
+                q.schedule_in(retry_policy.wait_for(call.retries),
+                              on_timeout, (call, serial))
             # Forward pass: the set-up reaches hop k at now + k * delay and
             # checks that hop's link.  The first check happens at the origin
             # itself — no transmission yet, so nothing to lose.
@@ -340,7 +363,7 @@ class SignalingSimulator:
                 # occupancy stays conserved in lossless configurations.
                 for link in list(call.bookings.get(serial, ())):
                     release_link(call, serial, link)
-            if call.retries < config.max_retries:
+            if retry_policy.allows_retry(call.retries):
                 call.retries += 1
                 if call.measured:
                     stats.retries += 1
@@ -521,6 +544,11 @@ class SignalingSimulator:
         for i in range(len(times)):
             queue.schedule(times[i], arrival, (od_index[i], holding[i], uniforms[i]))
         queue.run()
+
+        # Run-end reservation audit: every call has completed, every
+        # hold-timer and teardown has fired, so any residual occupancy is a
+        # booking some crankback/abort/timeout path failed to return.
+        stats.leaked_reservations = int(sum(occupancy))
 
         return SimulationResult(
             od_pairs=trace.od_pairs,

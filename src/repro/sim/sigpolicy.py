@@ -1,0 +1,106 @@
+"""Reusable signaling-robustness policies: timeouts, crankback, hold-timers.
+
+The hardened signaling semantics grew up inside
+:class:`repro.sim.signaling.SignalingSimulator` as loose config fields and
+inline arithmetic.  The sharded admission cluster
+(:mod:`repro.serve.cluster`) speaks the *same* protocol across real
+processes — per-attempt timeouts with exponential backoff, a bounded
+crankback budget per call, and reservation hold-timers that reap orphaned
+bookings — so the policies live here as small value objects both planes
+share.  Each is a frozen dataclass with pure methods: given the attempt
+or reroute count, it answers "how long do I wait", "may I reroute again",
+"when does this reservation expire" — no clocks, no I/O, and therefore
+identical behaviour in simulated time and on the wall clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "CrankbackPolicy", "HoldTimerPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-attempt timeout with exponential backoff and a retry cap.
+
+    Attempt ``k`` (0-based) waits ``timeout * backoff_factor**k`` before
+    being declared lost; after ``max_retries`` retries of one route the
+    caller moves on (cranks back).  ``timeout=None`` disables timeouts —
+    only valid over a lossless transport.
+    """
+
+    timeout: float | None = None
+    max_retries: int = 2
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive when set")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be at least 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout is not None
+
+    def wait_for(self, retries: int) -> float:
+        """Timeout for the attempt after ``retries`` prior retries."""
+        if self.timeout is None:
+            raise ValueError("retry policy has no timeout configured")
+        return self.timeout * self.backoff_factor**retries
+
+    def allows_retry(self, retries: int) -> bool:
+        """May the route be retried after ``retries`` timeouts already?"""
+        return retries < self.max_retries
+
+
+@dataclass(frozen=True)
+class CrankbackPolicy:
+    """Bound on the total reroute events one call may consume.
+
+    Crankbacks, race aborts, and retry exhaustions all count; ``budget``
+    of ``None`` is the paper's unbounded model.  The budget is checked
+    *before* each attempt: a call whose reroute count exceeds it is
+    refused rather than allowed to hunt forever.
+    """
+
+    budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget is not None and self.budget < 0:
+            raise ValueError("budget must be non-negative when set")
+
+    def exhausted(self, reroutes: int) -> bool:
+        """Has the call spent more reroutes than the budget allows?"""
+        return self.budget is not None and reroutes > self.budget
+
+
+@dataclass(frozen=True)
+class HoldTimerPolicy:
+    """Reservation hold-timer: how long an unconfirmed booking survives.
+
+    A link (or shard) that books capacity during set-up starts this timer;
+    if no confirm or release arrives within ``duration`` the booking is
+    presumed orphaned (lost message, dead coordinator) and auto-released.
+    ``duration=None`` disables the timer — only safe when no message can
+    be lost and no coordinator can die.
+    """
+
+    duration: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive when set")
+
+    @property
+    def enabled(self) -> bool:
+        return self.duration is not None
+
+    def deadline(self, now: float) -> float:
+        """Absolute expiry time of a booking made at ``now``."""
+        if self.duration is None:
+            raise ValueError("hold-timer policy has no duration configured")
+        return now + self.duration

@@ -399,6 +399,167 @@ class TestServer:
         assert release.time is None
 
 
+class TestServerAbuseBounds:
+    """Abusive or unlucky clients are bounded per connection: one error
+    answer, then disconnect — and every such path must leave the engine
+    serving subsequent clients."""
+
+    @staticmethod
+    async def _served(server, od, call_id) -> dict:
+        """A fresh client gets a real decision — the engine still serves."""
+        reader, writer = await asyncio.open_connection(server.host, server.port)
+        writer.write(
+            json.dumps({"op": "admit", "id": call_id, "od": list(od)}).encode()
+            + b"\n"
+        )
+        await writer.drain()
+        answer = json.loads(await reader.readline())
+        writer.close()
+        assert answer["admitted"] in (True, False)
+        return answer
+
+    def test_config_validation(self, quad_network, quad_policy):
+        engine = RequestEngine(quad_network, quad_policy)
+        with pytest.raises(ValueError, match="read_timeout"):
+            ServeServer(engine, read_timeout=0.0)
+        with pytest.raises(ValueError, match="max_line_bytes"):
+            ServeServer(engine, max_line_bytes=1)
+
+    def test_oversized_line_disconnects_with_error(
+        self, quad_network, quad_policy
+    ):
+        od = next(iter(quad_policy.choices))
+
+        async def run():
+            engine = RequestEngine(quad_network, quad_policy)
+            async with ServeServer(engine, max_line_bytes=64) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b'{"op": "admit", "pad": "' + b"x" * 200 + b'"}\n')
+                await writer.drain()
+                answer = json.loads(await reader.readline())
+                assert "exceeds 64 bytes" in answer["error"]
+                assert await reader.readline() == b""  # disconnected
+                writer.close()
+                await self._served(server, od, call_id=1)
+
+        asyncio.run(run())
+
+    def test_idle_connection_times_out(self, quad_network, quad_policy):
+        od = next(iter(quad_policy.choices))
+
+        async def run():
+            engine = RequestEngine(quad_network, quad_policy)
+            async with ServeServer(engine, read_timeout=0.1) as server:
+                reader, __ = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                # Send nothing: the stalled connection must be answered and
+                # dropped, not hold its reader task forever.
+                answer = json.loads(
+                    await asyncio.wait_for(reader.readline(), 5.0)
+                )
+                assert "idle past 0.1s" in answer["error"]
+                assert await reader.readline() == b""
+                await self._served(server, od, call_id=1)
+
+        asyncio.run(run())
+
+    def test_malformed_line_leaves_other_clients_served(
+        self, quad_network, quad_policy
+    ):
+        od = next(iter(quad_policy.choices))
+
+        async def run():
+            engine = RequestEngine(quad_network, quad_policy)
+            async with ServeServer(engine) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(b"{not json\n")
+                await writer.drain()
+                answer = json.loads(await reader.readline())
+                assert "malformed JSON" in answer["error"]
+                writer.close()
+                await self._served(server, od, call_id=1)
+
+        asyncio.run(run())
+
+    def test_request_mid_drain_is_refused_but_backlog_flushes(
+        self, quad_network, quad_policy
+    ):
+        od = next(iter(quad_policy.choices))
+
+        async def run():
+            engine = RequestEngine(
+                quad_network, quad_policy,
+                batch=BatchConfig(max_batch=1000, max_latency=30.0),
+            )
+            server = ServeServer(engine)
+            await server.start()
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            # Queued but unflushed (the batch window is far away) ...
+            writer.write(
+                json.dumps({"op": "admit", "id": 1, "od": list(od)}).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            while not server.batcher._pending:
+                await asyncio.sleep(0)
+            # ... when the drain starts: the backlog must still be decided,
+            # while anything arriving after the drain is refused.
+            await server.drain()
+            flushed = json.loads(await reader.readline())
+            assert flushed["admitted"] is True
+            writer.write(
+                json.dumps({"op": "admit", "id": 2, "od": list(od)}).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            refused = json.loads(await reader.readline())
+            assert refused["error"] == "draining"
+            writer.close()
+            await server.stop()
+            assert engine.decisions_total == 1
+
+        asyncio.run(run())
+
+    def test_connection_reset_mid_batch_still_decides(
+        self, quad_network, quad_policy
+    ):
+        od = next(iter(quad_policy.choices))
+
+        async def run():
+            engine = RequestEngine(
+                quad_network, quad_policy,
+                batch=BatchConfig(max_batch=1000, max_latency=0.02),
+            )
+            async with ServeServer(engine) as server:
+                __, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    json.dumps({"op": "admit", "id": 1, "od": list(od)}).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                while not server.batcher._pending:
+                    await asyncio.sleep(0)
+                # Vanish before the batch flushes: the decision has nowhere
+                # to go, but the batch must still be decided and the server
+                # must keep serving everyone else.
+                writer.transport.abort()
+                await asyncio.sleep(0.05)
+                assert engine.decisions_total == 1
+                await self._served(server, od, call_id=2)
+                assert engine.decisions_total == 2
+
+        asyncio.run(run())
+
+
 class TestEngineEdges:
     def test_release_unknown_and_duplicate_ids(self, quad_network, quad_policy):
         engine = RequestEngine(quad_network, quad_policy)
