@@ -54,6 +54,8 @@ from .traffic.calibration import nsfnet_nominal_traffic
 from .traffic.demand import primary_link_loads
 from .traffic.generators import uniform_traffic
 from .traffic.matrix import TrafficMatrix
+from .traffic.workload import Workload, build_workload, generate_workload_trace
+from .sim.trace import ArrivalTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .lab.scheduler import LabRunReport
@@ -120,6 +122,12 @@ class Scenario:
         ``length-adaptive``, ``ott-krishnan``.
     ``max_hops``
         The paper's ``H`` (alternate-path hop cap); ``None`` = unrestricted.
+    ``workload``
+        ``None`` (stationary demand, the historical default), a spec string
+        such as ``"flash-crowd"`` or ``"adversarial:7"``, or a concrete
+        :class:`~repro.traffic.workload.Workload`.  When set, traces follow
+        per-O-D-pair time-varying rates and the lab's cache keys include the
+        workload's content.
     """
 
     topology: Network | str = "nsfnet"
@@ -127,6 +135,7 @@ class Scenario:
     policy: str = "controlled"
     max_hops: int | None = None
     load_scale: float = 1.0
+    workload: Workload | str | None = None
 
     def __post_init__(self):
         if self.policy not in _POLICIES:
@@ -135,6 +144,10 @@ class Scenario:
             )
         if self.load_scale <= 0:
             raise ValueError("load_scale must be positive")
+        if isinstance(self.workload, str):
+            from .traffic.workload import parse_workload_spec
+
+            parse_workload_spec(self.workload)  # fail at construction, not use
 
     @cached_property
     def network(self) -> Network:
@@ -172,6 +185,34 @@ class Scenario:
     def with_policy(self, name: str) -> "Scenario":
         """The same scenario under a different routing policy."""
         return replace(self, policy=name)
+
+    def resolved_workload(self, horizon: float) -> Workload | None:
+        """The concrete :class:`Workload`, or ``None`` for stationary demand.
+
+        Spec strings are built against this scenario's network and traffic
+        over ``[0, horizon)`` — the same spec on the same scenario always
+        resolves to the same workload, so traces stay replayable.
+        """
+        if self.workload is None:
+            return None
+        return build_workload(
+            self.workload, network=self.network, table=self.path_table,
+            traffic=self.traffic_matrix, horizon=horizon,
+        )
+
+    def make_trace(self, duration: float, seed: int) -> ArrivalTrace:
+        """An arrival trace honouring the scenario's workload (if any).
+
+        Stationary scenarios take the historical
+        :func:`~repro.sim.trace.generate_trace` path bit for bit; workload
+        scenarios thin per-O-D-pair substreams against their profiles.
+        """
+        workload = self.resolved_workload(duration)
+        if workload is None:
+            return generate_trace(self.traffic_matrix, duration, seed)
+        return generate_workload_trace(
+            self.traffic_matrix, workload, duration, seed
+        )
 
 
 @dataclass(frozen=True)
@@ -221,7 +262,7 @@ def run_scenario(
     routes through the simulator's unvectorized reference loop — same
     statistics, for validation.
     """
-    trace = generate_trace(scenario.traffic_matrix, duration, seed)
+    trace = scenario.make_trace(duration, seed)
     return simulate(
         scenario.network, scenario.build_policy(), trace, warmup,
         reference=reference,
@@ -273,11 +314,11 @@ def run_study(
             max_seed_retries=max_seed_retries,
         )
     names = (scenario.policy,) if policies is None else tuple(policies)
+    workload = scenario.resolved_workload(config.duration)
     traces = None
     if not parallel:
         traces = [
-            generate_trace(scenario.traffic_matrix, config.duration, seed)
-            for seed in config.seeds
+            scenario.make_trace(config.duration, seed) for seed in config.seeds
         ]
     outcomes: dict[str, ReplicationOutcome] = {}
     for name in names:
@@ -286,5 +327,6 @@ def run_study(
             scenario.traffic_matrix, config,
             traces=traces, parallel=parallel, max_workers=max_workers,
             seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
+            workload=workload,
         )
     return StudyResult(outcomes=outcomes, config=config)

@@ -236,11 +236,16 @@ def _cmd_dynamic_failures(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments.registry import run_experiment, run_experiment_json
 
-    if args.json:
-        print(json.dumps(run_experiment_json(args.id, _config(args)),
-                         indent=2, sort_keys=True))
-    else:
-        print(run_experiment(args.id, _config(args)))
+    try:
+        if args.json:
+            print(json.dumps(run_experiment_json(args.id, _config(args)),
+                             indent=2, sort_keys=True))
+        else:
+            print(run_experiment(args.id, _config(args)))
+    except KeyError as exc:
+        # Unknown experiment id: a one-line error listing what exists,
+        # never a traceback.
+        raise SystemExit(f"experiment: {exc.args[0]}")
     return 0
 
 
@@ -602,6 +607,7 @@ def _serve_pieces(args: argparse.Namespace):
             policy=args.policy,
             max_hops=args.hops,
             load_scale=args.load_scale,
+            workload=getattr(args, "workload", None),
         )
         policy = scenario.build_policy()
     except ValueError as exc:
@@ -715,13 +721,13 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve import ServeServer, replay_trace, replay_trace_socket
-    from .sim.trace import generate_trace
 
     network, policy, scenario = _serve_pieces(args)
     engine = _serve_engine(args, network, policy)
-    trace = generate_trace(
-        scenario.traffic_matrix, args.duration + args.warmup, seed=args.seed
-    )
+    try:
+        trace = scenario.make_trace(args.duration + args.warmup, args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
     if args.socket:
         async def run():
             async with ServeServer(engine) as server:
@@ -750,16 +756,24 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     if bus is not None:
         engine.publish_metrics(phase="replay")
         bus.close()
+    adaptive = engine.state.adaptation is not None
     if args.json:
         print(json.dumps({
             "schema": "repro-serve-replay-v1",
             "transport": "socket" if args.socket else "in-process",
+            "workload": getattr(args, "workload", None),
             "calls": len(trace.times),
             "requests": report.requests,
             "network_blocking": result.network_blocking,
             "alternate_fraction": result.alternate_fraction,
             "decisions_per_second": report.decisions_per_second,
             "wall_seconds": report.wall_seconds,
+            "threshold_recomputes": (
+                engine.state.recompute_count if adaptive else None
+            ),
+            "last_refresh_delta": (
+                engine.state.last_refresh_delta if adaptive else None
+            ),
             "simulator_equivalent": verified,
         }, indent=2, sort_keys=True))
         return 0 if verified in (None, True) else 4
@@ -772,6 +786,11 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         f"blocking {result.network_blocking:.4f}, "
         f"alternate fraction {result.alternate_fraction:.4f}"
     )
+    if adaptive:
+        print(
+            f"threshold recomputes {engine.state.recompute_count}, "
+            f"last max |delta r| {engine.state.last_refresh_delta:g}"
+        )
     if verified is not None:
         print(
             "simulator equivalence: "
@@ -786,12 +805,12 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from .serve.loadgen import measure_overload, measure_throughput
-    from .sim.trace import generate_trace
 
     network, policy, scenario = _serve_pieces(args)
-    trace = generate_trace(
-        scenario.traffic_matrix, args.duration + 10.0, seed=args.seed
-    )
+    try:
+        trace = scenario.make_trace(args.duration + 10.0, args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"serve: {exc}")
     throughput = measure_throughput(
         network, policy, trace, batch_size=args.batch, rounds=args.rounds
     )
@@ -828,12 +847,12 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
 
     from .serve import ClusterConfig, ClusterRouter, replay_trace, replay_trace_cluster
     from .serve.engine import RequestEngine
-    from .sim.trace import generate_trace
 
     network, policy, scenario = _serve_pieces(args)
-    trace = generate_trace(
-        scenario.traffic_matrix, args.duration + args.warmup, seed=args.seed
-    )
+    try:
+        trace = scenario.make_trace(args.duration + args.warmup, args.seed)
+    except ValueError as exc:
+        raise SystemExit(f"serve cluster: {exc}")
     try:
         config = ClusterConfig(
             num_shards=args.shards,
@@ -1159,6 +1178,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="hard queue bound (enables queue shedding)")
         cmd.add_argument("--adapt-interval", type=float, default=None,
                          help="enable online threshold adaptation, this often")
+        cmd.add_argument("--workload", default=None,
+                         help="time-varying workload spec: diurnal, "
+                              "flash-crowd, regional-surge, adversarial[:SEED]"
+                              " (default stationary)")
         cmd.add_argument("--events", default=None,
                          help="JSONL telemetry path (serve_metrics events)")
     return parser

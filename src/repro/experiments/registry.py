@@ -366,6 +366,41 @@ def _dynamic_failures_data(config: ReplicationConfig) -> dict:
     }
 
 
+def _adversarial_data(config: ReplicationConfig) -> dict:
+    from .adversarial import adversarial_load_study
+
+    return adversarial_load_study(config)
+
+
+def _adversarial(config: ReplicationConfig) -> str:
+    document = _adversarial_data(config)
+    rows = [
+        [
+            name,
+            entry["static_blocking"]["mean"],
+            entry["adaptive_blocking"]["mean"],
+            entry["erlang_bound"],
+            entry["serve"]["recompute_on"]["recompute_count"],
+            entry["serve"]["recompute_on"]["time_to_reconverge"],
+        ]
+        for name, entry in document["workloads"].items()
+    ]
+    return (
+        "EXP-ADV: time-varying and adversarial workloads, NSFNet load 11\n"
+        + format_table(
+            ["workload", "static B", "adaptive B", "Erlang bound",
+             "recomputes", "t-reconverge"],
+            rows,
+        )
+    )
+
+
+def _adv_jobs() -> list:
+    from .adversarial import adversarial_load_scenarios
+
+    return adversarial_load_scenarios()
+
+
 def _general_mesh(config: ReplicationConfig) -> str:
     outcome = general_mesh_comparison(config)
     rows = [
@@ -415,8 +450,26 @@ EXPERIMENTS: dict[str, Experiment] = {
                    "bench_forecast_robustness.py", _robustness),
         Experiment("EXT-GEN", "general-mesh generality check",
                    "bench_general_mesh.py", _general_mesh),
+        Experiment("EXP-ADV", "adversarial & time-varying workloads vs the bound",
+                   "bench_adversarial_load.py", _adversarial, _adversarial_data,
+                   _adv_jobs),
     )
 }
+
+#: Alternate spellings accepted by the CLI (``experiment adversarial-load``).
+ALIASES: dict[str, str] = {
+    "ADVERSARIAL-LOAD": "EXP-ADV",
+}
+
+
+def _resolve(experiment_id: str) -> str:
+    """Canonical experiment id, or raise ``KeyError`` listing what exists."""
+    key = experiment_id.upper()
+    key = ALIASES.get(key, key)
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return key
 
 
 def lab_runnable_experiments() -> tuple[str, ...]:
@@ -434,10 +487,7 @@ def experiment_job_graph(experiment_id: str) -> list:
     that don't decompose into replication studies (analytic artifacts like
     FIG2/EXT-BIST need no simulation, so there is nothing to cache).
     """
-    key = experiment_id.upper()
-    if key not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    key = _resolve(experiment_id)
     experiment = EXPERIMENTS[key]
     if experiment.jobs is None:
         runnable = ", ".join(lab_runnable_experiments())
@@ -460,11 +510,7 @@ def run_experiment(
     experiment_id: str, config: ReplicationConfig = PAPER_CONFIG
 ) -> str:
     """Regenerate one experiment and return its printable report."""
-    key = experiment_id.upper()
-    if key not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    return EXPERIMENTS[key].run(config)
+    return EXPERIMENTS[_resolve(experiment_id)].run(config)
 
 
 def run_experiment_json(
@@ -476,11 +522,7 @@ def run_experiment_json(
     under ``"data"``; the rest carry the rendered report under ``"report"``
     so the envelope is uniform either way.
     """
-    key = experiment_id.upper()
-    if key not in EXPERIMENTS:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    experiment = EXPERIMENTS[key]
+    experiment = EXPERIMENTS[_resolve(experiment_id)]
     document = {
         "schema": "repro-experiment-v1",
         "id": experiment.id,

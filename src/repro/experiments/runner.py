@@ -33,6 +33,7 @@ from ..sim.simulator import simulate
 from ..sim.trace import ArrivalTrace, generate_trace
 from ..topology.graph import Network
 from ..traffic.matrix import TrafficMatrix
+from ..traffic.workload import Workload, generate_workload_trace
 
 __all__ = [
     "ReplicationConfig",
@@ -43,6 +44,24 @@ __all__ = [
     "run_replications_detailed",
     "compare_policies",
 ]
+
+
+def _make_trace(
+    traffic: TrafficMatrix,
+    workload: Workload | None,
+    duration: float,
+    seed: int,
+) -> ArrivalTrace:
+    """One seed's arrivals: stationary, or thinned against a workload.
+
+    The single trace-generation choke point for replications — serial path,
+    pool workers and the lab scheduler all route through it, so a workload
+    changes demand identically everywhere (and ``None`` keeps the
+    historical stationary traces bit for bit).
+    """
+    if workload is None:
+        return generate_trace(traffic, duration, seed)
+    return generate_workload_trace(traffic, workload, duration, seed)
 
 
 def _replication_worker(payload) -> SimulationResult:
@@ -59,15 +78,19 @@ def _replication_worker(payload) -> SimulationResult:
 _WORKER_CONTEXT: dict[str, tuple] = {}
 
 
-def _install_worker_context(network, policy, traffic, duration, warmup) -> None:
+def _install_worker_context(
+    network, policy, traffic, duration, warmup, workload=None
+) -> None:
     """Pool initializer: stash the shared (network, policy, ...) context."""
-    _WORKER_CONTEXT["shared"] = (network, policy, traffic, duration, warmup)
+    _WORKER_CONTEXT["shared"] = (
+        network, policy, traffic, duration, warmup, workload
+    )
 
 
 def _shared_context_worker(seed: int) -> SimulationResult:
     """Run one seed against the worker-process shared context."""
-    network, policy, traffic, duration, warmup = _WORKER_CONTEXT["shared"]
-    trace = generate_trace(traffic, duration, seed)
+    network, policy, traffic, duration, warmup, workload = _WORKER_CONTEXT["shared"]
+    trace = _make_trace(traffic, workload, duration, seed)
     return simulate(network, policy, trace, warmup)
 
 
@@ -298,8 +321,14 @@ def run_replications_detailed(
     seed_timeout: float | None = None,
     max_seed_retries: int = 1,
     worker: Callable = _replication_worker,
+    workload: Workload | None = None,
 ) -> ReplicationOutcome:
     """Run one policy over all seeds; returns the full per-seed outcome.
+
+    ``workload`` switches trace generation to the time-varying per-pair
+    generator (:func:`~repro.traffic.workload.generate_workload_trace`);
+    ``None`` keeps the historical stationary traces bit for bit.  It is
+    ignored when explicit ``traces`` are supplied.
 
     ``parallel=True`` fans the seeds over a process pool — results are
     bit-identical to the serial path (each seed is fully self-contained).
@@ -327,7 +356,8 @@ def run_replications_detailed(
                 payloads, _shared_context_worker, config.seeds,
                 seed_timeout, max_seed_retries, max_workers,
                 initializer=_install_worker_context,
-                initargs=(network, policy, traffic, config.duration, config.warmup),
+                initargs=(network, policy, traffic, config.duration,
+                          config.warmup, workload),
             )
         else:
             # Injected worker (tests, custom pipelines): keep the historical
@@ -342,7 +372,8 @@ def run_replications_detailed(
     else:
         if traces is None:
             traces = [
-                generate_trace(traffic, config.duration, seed) for seed in config.seeds
+                _make_trace(traffic, workload, config.duration, seed)
+                for seed in config.seeds
             ]
         payloads = list(traces)
         seeds = [trace.seed for trace in traces]
@@ -374,6 +405,7 @@ def run_replications(
     max_workers: int | None = None,
     seed_timeout: float | None = None,
     max_seed_retries: int = 1,
+    workload: Workload | None = None,
 ) -> tuple[SweepStatistic, list[SimulationResult]]:
     """Run one policy over all seeds; returns aggregate blocking + raw results.
 
@@ -386,6 +418,7 @@ def run_replications(
         network, policy, traffic, config,
         traces=traces, parallel=parallel, max_workers=max_workers,
         seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
+        workload=workload,
     )
     return outcome.stat, outcome.results
 

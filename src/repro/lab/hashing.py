@@ -103,12 +103,25 @@ def scenario_signature(scenario: "Scenario") -> dict:
         traffic = _traffic_signature(traffic)
     elif isinstance(traffic, (int, float)):
         traffic = float(traffic)
-    return {
+    signature = {
         "topology": topology,
         "traffic": traffic,
         "max_hops": scenario.max_hops,
         "load_scale": float(scenario.load_scale),
     }
+    # The workload key exists only when a workload is set: stationary
+    # scenarios keep their historical cache keys (and their cached results).
+    # Spec strings are recorded as given — together with the config's window
+    # they pin the resolved workload — while concrete Workload objects hash
+    # by content, so editing any pair's profile invalidates the cache.
+    workload = getattr(scenario, "workload", None)
+    if workload is not None:
+        from ..traffic.workload import Workload
+
+        signature["workload"] = (
+            workload.signature() if isinstance(workload, Workload) else workload
+        )
+    return signature
 
 
 def config_signature(config: "ReplicationConfig") -> dict:

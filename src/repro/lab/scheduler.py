@@ -114,8 +114,11 @@ def study_manifest_spec(scenario) -> dict:
     by re-invoking :func:`run_lab_study` with the same objects (the content
     hash matches), just not from the CLI alone.
     """
-    resumable = isinstance(scenario.topology, str) and isinstance(
-        scenario.traffic, (str, int, float)
+    workload = getattr(scenario, "workload", None)
+    resumable = (
+        isinstance(scenario.topology, str)
+        and isinstance(scenario.traffic, (str, int, float))
+        and (workload is None or isinstance(workload, str))
     )
     return {
         "resumable": resumable,
@@ -124,6 +127,7 @@ def study_manifest_spec(scenario) -> dict:
         "policy": scenario.policy,
         "max_hops": scenario.max_hops,
         "load_scale": scenario.load_scale,
+        "workload": workload if resumable else None,
     }
 
 
@@ -142,6 +146,7 @@ def scenario_from_spec(spec: dict):
         policy=spec["policy"],
         max_hops=spec["max_hops"],
         load_scale=spec["load_scale"],
+        workload=spec.get("workload"),
     )
 
 
@@ -272,10 +277,9 @@ def _provenance(scenario_sig, config_sig, job: JobSpec) -> dict:
 def _simulate_job(scenario, policy_obj, config: ReplicationConfig, seed: int):
     """One job, in-process: regenerate the trace, simulate, time it."""
     from ..sim.simulator import simulate
-    from ..sim.trace import generate_trace
 
     def worker(seed):
-        trace = generate_trace(scenario.traffic_matrix, config.duration, seed)
+        trace = scenario.make_trace(config.duration, seed)
         return simulate(scenario.network, policy_obj, trace, config.warmup)
 
     return _timed_call(worker, seed)
@@ -317,7 +321,8 @@ def _run_group_parallel(run, scenario, scenario_sig, config_sig, config,
         max_workers=max_workers,
         initializer=_install_worker_context,
         initargs=(scenario.network, policy_obj, scenario.traffic_matrix,
-                  config.duration, config.warmup),
+                  config.duration, config.warmup,
+                  scenario.resolved_workload(config.duration)),
     ) as pool:
         inflight = {}
         workers = max_workers or (os.cpu_count() or 1)

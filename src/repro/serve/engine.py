@@ -218,6 +218,32 @@ class RequestEngine:
         self._m_mode = registry.gauge("serve_mode")
         self._m_util = registry.gauge("serve_utilization")
         self._m_held = registry.gauge("serve_held_calls")
+        # Adaptation observability: recompute counter, the magnitude of the
+        # last threshold move, and per-link threshold gauges — exported only
+        # for adaptive engines (static thresholds never change, and the
+        # per-link series would be noise).
+        self._m_recomputes = None
+        self._m_recompute_delta = None
+        self._m_link_thresholds: list = []
+        if self.state.adaptation is not None:
+            self._m_recomputes = registry.counter(
+                "serve_threshold_recomputes_total"
+            )
+            self._m_recompute_delta = registry.gauge(
+                "serve_threshold_last_max_delta"
+            )
+            self._m_link_thresholds = [
+                registry.gauge("serve_link_threshold", link=str(link))
+                for link in range(network.num_links)
+            ]
+            self._export_thresholds()
+
+    def _export_thresholds(self) -> None:
+        """Publish the per-link alternate-admission thresholds as gauges."""
+        for gauge, value in zip(
+            self._m_link_thresholds, self.state.alt_thresholds
+        ):
+            gauge.set(int(value))
 
     #: Kept as a staticmethod alias for callers that reached through the
     #: class; the shared implementation is module-level :func:`compile_routes`.
@@ -242,6 +268,7 @@ class RequestEngine:
         state = self.state
         occupancy, thresholds, tables = state.arrays()
         adapt = state.adaptation is not None
+        recomputes_before = state.recompute_count if adapt else 0
         setups = [0] * len(occupancy) if adapt else None
         next_refresh = state.next_refresh
         capacities = self._capacities
@@ -372,6 +399,12 @@ class RequestEngine:
             self._m_mode.set(MODES.index(control.mode))
         self._m_util.set(state.utilization())
         self._m_held.set(len(held))
+        if adapt:
+            fired = state.recompute_count - recomputes_before
+            if fired:
+                self._m_recomputes.inc(fired)
+                self._m_recompute_delta.set(state.last_refresh_delta)
+                self._export_thresholds()
         return decisions
 
     # ----------------------------------------------------------- inspection

@@ -49,6 +49,8 @@ __all__ = [
     "replay_trace_socket",
     "measure_throughput",
     "measure_overload",
+    "measure_regime_shift",
+    "measure_surge_with_shard_kill",
     "measure_cluster_throughput",
     "partition_requests",
 ]
@@ -613,6 +615,209 @@ def measure_cluster_throughput(
         "cluster_decisions_per_sec": cluster_rate,
         "speedup": cluster_rate / baseline_rate,
         "cluster_admitted": sum(r[3] for r in cluster_results),
+    }
+
+
+def decisions_digest(decisions: Sequence[Decision]) -> str:
+    """Stable SHA-256 over a decision list's JSON form.
+
+    The smoke tooling compares digests across runs and across planes:
+    equal digests mean bit-identical decisions without shipping the lists.
+    """
+    import hashlib
+
+    payload = json.dumps(
+        [d.to_json() for d in decisions], separators=(",", ":"), sort_keys=True
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def measure_regime_shift(
+    network,
+    policy,
+    trace: ArrivalTrace,
+    shift_time: float,
+    adaptation=None,
+    warmup: float = 10.0,
+    overload=None,
+    bin_width: float = 5.0,
+    settle_tolerance: float = 0.0,
+) -> dict:
+    """Replay a (typically nonstationary) trace and track threshold tracking.
+
+    The regime-shift observability harness: replays the trace through an
+    engine (adaptive when ``adaptation`` is an
+    :class:`~repro.serve.state.AdaptationConfig`, static otherwise) and
+    reports what an operator watching the telemetry would see —
+
+    * ``recompute_count`` and per-refresh ``refresh_events`` (time and max
+      |Δ threshold| of each Equation-15 recompute);
+    * ``time_to_reconverge``: how long after ``shift_time`` the thresholds
+      kept moving (last refresh whose max delta exceeds
+      ``settle_tolerance``, relative to the shift; 0.0 if they never moved
+      after the shift, ``None`` with adaptation off);
+    * a ``trajectory`` of ``bin_width``-wide bins — offered, admitted,
+      blocked, shed, degraded counts per bin — the shed-rate/blocking
+      curve through the surge;
+    * overall blocking and the decision digest (replays of the same trace
+      must produce the same digest — determinism is part of the contract).
+
+    Everything runs on request (virtual) time, so the whole report is a
+    pure function of ``(trace, policy, adaptation, overload)``.
+    """
+    from .state import NetworkState
+
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    state = (
+        None if adaptation is None
+        else NetworkState(network, policy, adaptation)
+    )
+    engine = RequestEngine(network, policy, state=state, overload=overload)
+    report = replay_trace(engine, trace, warmup=warmup)
+    state = engine.state
+
+    refresh_events = []
+    previous_levels = None
+    for refresh in state.refreshes:
+        if previous_levels is None:
+            # The constructor's seeding application: levels came from
+            # initial_loads, not from observation — not a recompute.
+            previous_levels = refresh.protection_levels
+            continue
+        delta = int(
+            np.abs(refresh.protection_levels - previous_levels).max(initial=0)
+        )
+        refresh_events.append({"time": float(refresh.time), "max_delta": delta})
+        previous_levels = refresh.protection_levels
+
+    if adaptation is None:
+        time_to_reconverge = None
+    else:
+        active = [
+            e for e in refresh_events
+            if e["time"] >= shift_time and e["max_delta"] > settle_tolerance
+        ]
+        time_to_reconverge = (
+            0.0 if not active else active[-1]["time"] - shift_time
+        )
+
+    bins = int(np.ceil(trace.duration / bin_width))
+    trajectory = [
+        {"t0": b * bin_width, "offered": 0, "admitted": 0, "blocked": 0,
+         "shed": 0, "degraded": 0}
+        for b in range(bins)
+    ]
+    times = trace.times
+    for decision in report.decisions:
+        if decision.tier == "release":
+            continue
+        entry = trajectory[min(int(times[decision.id] // bin_width), bins - 1)]
+        entry["offered"] += 1
+        if decision.admitted:
+            entry["admitted"] += 1
+        elif decision.reason == "shed":
+            entry["shed"] += 1
+        elif decision.reason == "degraded":
+            entry["degraded"] += 1
+        else:
+            entry["blocked"] += 1
+
+    return {
+        "calls": len(trace.times),
+        "shift_time": float(shift_time),
+        "adaptation": adaptation is not None,
+        "recompute_count": state.recompute_count,
+        "last_refresh_delta": state.last_refresh_delta,
+        "refresh_events": refresh_events,
+        "time_to_reconverge": time_to_reconverge,
+        "bin_width": float(bin_width),
+        "trajectory": trajectory,
+        "network_blocking": report.result.network_blocking,
+        "decisions_sha256": decisions_digest(report.decisions),
+    }
+
+
+def measure_surge_with_shard_kill(
+    network,
+    policy,
+    trace: ArrivalTrace,
+    num_shards: int = 3,
+    kill_shard: int = 0,
+    kill_after_ops: int = 800,
+    chaos_seed: int = 3,
+    warmup: float = 10.0,
+    batch_size: int = 256,
+    retry_timeout: float = 0.15,
+) -> dict:
+    """Correlated failure + overload: a surge trace through a cluster that
+    loses (and recovers) one shard mid-run.
+
+    Replays the trace — typically realized from a surge workload — through
+    an ordered :class:`~repro.serve.cluster.ClusterRouter` whose
+    ``kill_shard`` worker self-crashes after ``kill_after_ops`` commands
+    (:class:`~repro.serve.chaos.ChaosConfig`).  Separates the two loss
+    modes the tentpole study compares: calls *blocked* by admission policy
+    (``blocked`` / ``no-route`` — the network said no) versus calls
+    *dropped* by infrastructure (``shard-down`` and friends — the cluster
+    couldn't answer), measured after ``warmup``.
+    """
+    from ..sim.sigpolicy import HoldTimerPolicy, RetryPolicy
+    from .chaos import ChaosConfig
+    from .cluster import ClusterConfig, ClusterRouter
+
+    async def run():
+        router = ClusterRouter(
+            network, policy,
+            ClusterConfig(
+                num_shards=num_shards,
+                mode="ordered",
+                retry=RetryPolicy(timeout=retry_timeout, max_retries=5),
+                hold=HoldTimerPolicy(duration=0.5),
+                chaos=ChaosConfig(
+                    seed=chaos_seed,
+                    kill_after_ops={kill_shard: kill_after_ops},
+                ),
+            ),
+        )
+        async with router:
+            report = await replay_trace_cluster(
+                router, trace, warmup=warmup, batch_size=batch_size
+            )
+            restarts = dict(router.supervisor.restarts)
+        return report, restarts
+
+    report, restarts = asyncio.run(run())
+    times = trace.times
+    offered = admitted = blocked = dropped = 0
+    drop_reasons: dict[str, int] = {}
+    for decision in report.decisions:
+        if decision.tier == "release" or times[decision.id] < warmup:
+            continue
+        offered += 1
+        if decision.admitted:
+            admitted += 1
+        elif decision.reason in ("blocked", "no-route"):
+            blocked += 1
+        else:
+            dropped += 1
+            reason = decision.reason or "unknown"
+            drop_reasons[reason] = drop_reasons.get(reason, 0) + 1
+    return {
+        "calls": len(trace.times),
+        "num_shards": num_shards,
+        "kill_shard": kill_shard,
+        "kill_after_ops": kill_after_ops,
+        "restarts": restarts,
+        "offered": offered,
+        "admitted": admitted,
+        "blocked": blocked,
+        "dropped": dropped,
+        "drop_reasons": drop_reasons,
+        "blocked_fraction": blocked / offered if offered else 0.0,
+        "dropped_fraction": dropped / offered if offered else 0.0,
+        "network_blocking": report.result.network_blocking,
+        "wall_seconds": report.wall_seconds,
     }
 
 

@@ -144,6 +144,15 @@ class NetworkState:
             ].copy()
         self.adaptation = adaptation
         self.refreshes: list[ThresholdRefresh] = []
+        #: Recomputes fired by :meth:`maybe_refresh` (the initial level
+        #: application in the constructor is not counted — it is seeding,
+        #: not adaptation).  Telemetry exports this as a counter.
+        self.recompute_count = 0
+        #: max |Δ threshold| of the most recent level application — how far
+        #: the links moved their admission bounds in one step.  0.0 means
+        #: the last recompute confirmed the thresholds already in force;
+        #: operators watch this settle back to 0 after a regime shift.
+        self.last_refresh_delta = 0.0
         if adaptation is not None:
             if policy.discipline != "threshold":
                 raise ValueError(
@@ -235,7 +244,11 @@ class NetworkState:
             ],
             dtype=np.int64,
         )
+        previous = self.alt_thresholds.copy()
         self.alt_thresholds[:] = capacities - levels
+        self.last_refresh_delta = float(
+            np.abs(self.alt_thresholds - previous).max(initial=0)
+        )
         self.refreshes.append(
             ThresholdRefresh(
                 time=now,
@@ -261,5 +274,6 @@ class NetworkState:
             )
             self.setup_counts[:] = 0
             self._apply_levels(self.next_refresh)
+            self.recompute_count += 1
             self.next_refresh += config.update_interval
         return True

@@ -16,6 +16,18 @@ from .generators import (
 from .io import load_traffic, save_traffic, traffic_from_dict, traffic_to_dict
 from .matrix import TrafficMatrix
 from .profiles import LoadProfile, generate_nonstationary_trace
+from .workload import (
+    WORKLOAD_NAMES,
+    Workload,
+    adversarial_workload,
+    alternate_overlap_scores,
+    build_workload,
+    diurnal,
+    flash_crowd,
+    generate_workload_trace,
+    parse_workload_spec,
+    regional_surge,
+)
 
 __all__ = [
     "TrafficMatrix",
@@ -25,6 +37,16 @@ __all__ = [
     "traffic_from_dict",
     "LoadProfile",
     "generate_nonstationary_trace",
+    "Workload",
+    "WORKLOAD_NAMES",
+    "diurnal",
+    "flash_crowd",
+    "regional_surge",
+    "adversarial_workload",
+    "alternate_overlap_scores",
+    "build_workload",
+    "parse_workload_spec",
+    "generate_workload_trace",
     "primary_link_loads",
     "bifurcated_link_loads",
     "multiclass_unit_loads",

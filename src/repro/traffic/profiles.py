@@ -11,6 +11,7 @@ the profile).
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 import numpy as np
@@ -41,8 +42,14 @@ class LoadProfile:
                 f"need {len(self.breakpoints) + 1} scales for "
                 f"{len(self.breakpoints)} breakpoints, got {len(self.scales)}"
             )
-        if any(s < 0 for s in self.scales):
-            raise ValueError("scales must be non-negative")
+        for s in self.scales:
+            if not math.isfinite(s):
+                raise ValueError(f"scales must be finite, got {s!r}")
+            if s < 0:
+                raise ValueError("scales must be non-negative")
+        for b in self.breakpoints:
+            if not math.isfinite(b):
+                raise ValueError(f"breakpoints must be finite, got {b!r}")
         if list(self.breakpoints) != sorted(self.breakpoints):
             raise ValueError("breakpoints must be sorted")
 
@@ -73,6 +80,17 @@ class LoadProfile:
             t += period / 2.0
         return LoadProfile(tuple(breakpoints), tuple(scales))
 
+    @staticmethod
+    def pulse(start: float, end: float, scale: float, base: float = 1.0) -> "LoadProfile":
+        """``base`` everywhere except ``[start, end)``, where ``scale`` holds.
+
+        The building block of surge scenarios: a regional overload that
+        arrives and clears.
+        """
+        if end <= start:
+            raise ValueError("pulse end must lie after start")
+        return LoadProfile(breakpoints=(start, end), scales=(base, scale, base))
+
     @property
     def max_scale(self) -> float:
         return max(self.scales)
@@ -80,6 +98,30 @@ class LoadProfile:
     def scale_at(self, time: float) -> float:
         """The multiplier in force at ``time``."""
         return self.scales[bisect_right(self.breakpoints, time)]
+
+    def scales_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`scale_at` over an array of times."""
+        scales = np.asarray(self.scales, dtype=float)
+        if not self.breakpoints:
+            return np.full(np.asarray(times).shape, scales[0])
+        index = np.searchsorted(
+            np.asarray(self.breakpoints, dtype=float), times, side="right"
+        )
+        return scales[index]
+
+    def multiply(self, other: "LoadProfile") -> "LoadProfile":
+        """The pointwise product profile (piecewise-constant again).
+
+        Composition law of the workload layer: overlaying two workloads
+        multiplies their per-pair profiles, so a diurnal baseline with a
+        flash crowd on top is itself a :class:`LoadProfile`.
+        """
+        merged = sorted(set(self.breakpoints) | set(other.breakpoints))
+        scales = tuple(
+            self.scale_at(t) * other.scale_at(t)
+            for t in [merged[0] - 1.0 if merged else 0.0] + merged
+        )
+        return LoadProfile(breakpoints=tuple(merged), scales=scales)
 
 
 def generate_nonstationary_trace(
@@ -119,13 +161,7 @@ def generate_nonstationary_trace(
     count = int(rng.poisson(peak * duration))
     candidate_times = np.sort(rng.uniform(0.0, duration, size=count))
     acceptance = rng.uniform(0.0, 1.0, size=count)
-    keep = np.array(
-        [
-            acceptance[i] * profile.max_scale < profile.scale_at(candidate_times[i])
-            for i in range(count)
-        ],
-        dtype=bool,
-    )
+    keep = acceptance * profile.max_scale < profile.scales_at(candidate_times)
     times = candidate_times[keep]
     kept = int(times.size)
     probabilities = np.asarray(rates) / base_rate

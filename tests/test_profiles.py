@@ -39,6 +39,31 @@ class TestLoadProfile:
         with pytest.raises(ValueError):
             LoadProfile.day_night(period=0.0, day_scale=1, night_scale=1, horizon=10)
 
+    def test_rejects_non_finite_values(self):
+        # Regression: NaN/inf used to slip through and poison max_scale,
+        # turning the thinning acceptance test into silent nonsense.
+        for bad in (float("nan"), float("inf"), -float("inf")):
+            with pytest.raises(ValueError):
+                LoadProfile(breakpoints=(), scales=(bad,))
+            with pytest.raises(ValueError):
+                LoadProfile(breakpoints=(bad,), scales=(1.0, 1.0))
+
+    def test_scales_at_vectorized_matches_scalar(self):
+        profile = LoadProfile(breakpoints=(10.0, 20.0), scales=(0.5, 2.0, 1.0))
+        times = np.array([0.0, 9.999, 10.0, 15.0, 20.0, 99.0])
+        expected = [profile.scale_at(t) for t in times]
+        assert np.array_equal(profile.scales_at(times), expected)
+
+    def test_pulse_and_multiply(self):
+        pulse = LoadProfile.pulse(start=5.0, end=15.0, scale=3.0)
+        assert pulse.scale_at(4.9) == 1.0
+        assert pulse.scale_at(5.0) == 3.0
+        assert pulse.scale_at(15.0) == 1.0
+        product = pulse.multiply(LoadProfile.step(at=10.0, before=1.0, after=0.5))
+        assert product.scale_at(7.0) == 3.0
+        assert product.scale_at(12.0) == 1.5
+        assert product.scale_at(20.0) == 0.5
+
 
 class TestNonstationaryTrace:
     @pytest.fixture()
@@ -80,3 +105,31 @@ class TestNonstationaryTrace:
     def test_invalid_duration(self, traffic):
         with pytest.raises(ValueError):
             generate_nonstationary_trace(traffic, LoadProfile.constant(), 0.0, 0)
+
+    def test_per_segment_empirical_rate_matches_profile(self, traffic):
+        # Thinning must realize the *local* rate, not just the average:
+        # each piecewise-constant segment's arrival count should sit near
+        # demand * scale * segment length.
+        profile = LoadProfile(breakpoints=(40.0, 80.0), scales=(0.4, 1.6, 0.8))
+        trace = generate_nonstationary_trace(traffic, profile, 120.0, seed=7)
+        edges = (0.0, 40.0, 80.0, 120.0)
+        for (t0, t1), scale in zip(zip(edges, edges[1:]), profile.scales):
+            count = int(np.count_nonzero((trace.times >= t0) & (trace.times < t1)))
+            expected = 50.0 * scale * (t1 - t0)
+            assert abs(count - expected) < 4 * np.sqrt(expected)
+
+    def test_substream_independent_of_stationary_generator(self, traffic):
+        # The nonstationary generator draws from its own named substream:
+        # a constant profile reproduces stationary *statistics* but must
+        # not collide with (or silently depend on) the stationary
+        # generator's stream for the same seed.
+        from repro.sim.trace import generate_trace
+
+        profile = LoadProfile.constant(1.0)
+        nonstat = generate_nonstationary_trace(traffic, profile, 50.0, seed=5)
+        stat = generate_trace(traffic, 50.0, seed=5)
+        assert not np.array_equal(nonstat.times, stat.times)
+        # ...while the nonstationary stream itself is reproducible.
+        again = generate_nonstationary_trace(traffic, profile, 50.0, seed=5)
+        assert np.array_equal(nonstat.times, again.times)
+        assert np.array_equal(nonstat.holding_times, again.holding_times)

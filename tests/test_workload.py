@@ -1,0 +1,324 @@
+"""Tests for repro.traffic.workload: the time-varying/adversarial layer.
+
+The contract under test is replayability end to end: the same
+``(workload, seed)`` pair must regenerate a bit-identical trace, that
+trace must drive identical decisions through the simulator and the
+serving plane, per-O-D-pair substreams must isolate one pair's profile
+change from everyone else's arrivals, the adversarial injector must be
+seeded and mass-conserving, and the workload must be part of the lab's
+content-addressed cache keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import LabConfig, Scenario, run_study
+from repro.experiments.runner import ReplicationConfig
+from repro.lab.hashing import scenario_signature
+from repro.traffic.generators import uniform_traffic
+from repro.traffic.profiles import LoadProfile
+from repro.traffic.workload import (
+    WORKLOAD_NAMES,
+    Workload,
+    adversarial_workload,
+    alternate_overlap_scores,
+    build_workload,
+    diurnal,
+    flash_crowd,
+    generate_workload_trace,
+    parse_workload_spec,
+    regional_surge,
+)
+
+CONFIG = ReplicationConfig(measured_duration=8.0, warmup=2.0, seeds=(0, 1))
+
+
+@pytest.fixture(scope="module")
+def quad_traffic(quad_network):
+    return uniform_traffic(quad_network.num_nodes, 55.0)
+
+
+class TestWorkloadObject:
+    def test_profiles_sorted_and_deduplicated(self):
+        surge = LoadProfile.pulse(start=5.0, end=10.0, scale=2.0)
+        w = Workload(name="w", profiles=(((1, 0), surge), ((0, 1), surge)))
+        assert [od for od, __ in w.profiles] == [(0, 1), (1, 0)]
+        with pytest.raises(ValueError):
+            Workload(name="w", profiles=(((0, 1), surge), ((0, 1), surge)))
+
+    def test_profile_for_falls_back_to_default(self):
+        surge = LoadProfile.pulse(start=5.0, end=10.0, scale=2.0)
+        w = Workload(name="w", profiles=(((0, 1), surge),))
+        assert w.scale_at((0, 1), 7.0) == 2.0
+        assert w.scale_at((2, 3), 7.0) == 1.0
+
+    def test_overlay_multiplies_pointwise(self):
+        a = flash_crowd(4, horizon=40.0, target=0, peak_scale=2.0)
+        b = diurnal(4, horizon=40.0, peak=1.5, trough=0.5)
+        combined = a.overlay(b)
+        assert combined.name == f"{a.name}+{b.name}"
+        for od in ((0, 1), (3, 2)):
+            for t in (0.0, 17.0, 33.0):
+                assert combined.scale_at(od, t) == pytest.approx(
+                    a.scale_at(od, t) * b.scale_at(od, t)
+                )
+
+    def test_shift_time_is_earliest_breakpoint(self):
+        w = flash_crowd(4, horizon=40.0, start=14.0)
+        assert w.shift_time == 14.0
+        stationary = Workload(name="flat", profiles=())
+        assert stationary.shift_time is None
+
+    def test_signature_is_stable_and_discriminating(self):
+        a = flash_crowd(4, horizon=40.0)
+        b = flash_crowd(4, horizon=40.0)
+        assert a.signature() == b.signature()
+        assert a.signature() != flash_crowd(4, horizon=40.0, peak_scale=9.9).signature()
+
+
+class TestSpecParsing:
+    def test_known_names(self):
+        for name in WORKLOAD_NAMES:
+            assert name in ("stationary", "diurnal", "flash-crowd",
+                            "regional-surge", "adversarial")
+        name, __ = parse_workload_spec("diurnal")
+        assert name == "diurnal"
+        assert parse_workload_spec("adversarial:7") == ("adversarial", 7)
+
+    def test_unknown_name_lists_known_ones(self):
+        with pytest.raises(ValueError, match="flash-crowd"):
+            parse_workload_spec("bogus")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(ValueError):
+            parse_workload_spec("adversarial:x")
+        with pytest.raises(ValueError):
+            parse_workload_spec("adversarial:-1")
+
+    def test_stationary_resolves_to_none(self, quad_network, quad_table,
+                                         quad_traffic):
+        assert build_workload(
+            "stationary", network=quad_network, table=quad_table,
+            traffic=quad_traffic, horizon=20.0,
+        ) is None
+
+    def test_scenario_rejects_bad_spec_at_construction(self):
+        with pytest.raises(ValueError, match="workload"):
+            Scenario(topology="quadrangle", traffic=55.0, workload="bogus")
+
+
+class TestTraceGeneration:
+    def test_same_workload_and_seed_is_bit_identical(self, quad_traffic):
+        w = flash_crowd(4, horizon=20.0)
+        a = generate_workload_trace(quad_traffic, w, 20.0, seed=5)
+        b = generate_workload_trace(quad_traffic, w, 20.0, seed=5)
+        for field in ("times", "od_index", "holding_times", "uniforms"):
+            assert np.array_equal(getattr(a, field), getattr(b, field))
+        c = generate_workload_trace(quad_traffic, w, 20.0, seed=6)
+        assert not np.array_equal(a.times, c.times)
+
+    def test_per_pair_substreams_isolate_profile_changes(self, quad_traffic):
+        # Surging node 0's pairs must leave every pair not touching node 0
+        # bit-identical: each O-D pair owns a named substream.
+        flat = Workload(name="flat", profiles=())
+        surged = flash_crowd(4, horizon=20.0, target=0, peak_scale=3.0)
+        base = generate_workload_trace(quad_traffic, flat, 20.0, seed=9)
+        bumped = generate_workload_trace(quad_traffic, surged, 20.0, seed=9)
+        pairs = [od for od, __ in quad_traffic.positive_pairs()]
+        untouched = [i for i, od in enumerate(pairs) if 0 not in od]
+        assert untouched
+        for index in untouched:
+            assert np.array_equal(
+                base.times[base.od_index == index],
+                bumped.times[bumped.od_index == index],
+            )
+            assert np.array_equal(
+                base.holding_times[base.od_index == index],
+                bumped.holding_times[bumped.od_index == index],
+            )
+
+    def test_flash_crowd_concentrates_mass_on_target(self, quad_traffic):
+        w = flash_crowd(4, horizon=40.0, target=0, start=10.0, peak_scale=3.0)
+        trace = generate_workload_trace(quad_traffic, w, 40.0, seed=2)
+        pairs = [od for od, __ in quad_traffic.positive_pairs()]
+        target = [i for i, od in enumerate(pairs) if 0 in od]
+        in_surge = (trace.times >= 15.0) & (trace.times < 40.0)
+        surge_mask = np.isin(trace.od_index, target)
+        before = int(np.count_nonzero(surge_mask & (trace.times < 10.0)))
+        during = int(np.count_nonzero(surge_mask & in_surge))
+        rate_before = before / 10.0
+        rate_during = during / 25.0
+        assert rate_during > 1.5 * rate_before
+
+
+class TestAdversarialInjector:
+    def test_deterministic_per_seed(self, quad_network, quad_table,
+                                    quad_traffic):
+        a = adversarial_workload(quad_network, quad_table, quad_traffic,
+                                 horizon=40.0, seed=3)
+        b = adversarial_workload(quad_network, quad_table, quad_traffic,
+                                 horizon=40.0, seed=3)
+        assert a.signature() == b.signature()
+        c = adversarial_workload(quad_network, quad_table, quad_traffic,
+                                 horizon=40.0, seed=4)
+        assert a.signature() != c.signature()
+
+    def test_mass_conservation_per_epoch(self, quad_network, quad_table,
+                                         quad_traffic):
+        w = adversarial_workload(quad_network, quad_table, quad_traffic,
+                                 horizon=40.0, seed=0)
+        pairs_demands = list(quad_traffic.positive_pairs())
+        total = sum(d for __, d in pairs_demands)
+        for t in (1.0, 11.0, 21.0, 31.0):
+            offered = sum(d * w.scale_at(od, t) for od, d in pairs_demands)
+            assert offered == pytest.approx(total, rel=1e-9)
+
+    def test_targets_have_high_overlap_scores(self, quad_network, quad_table,
+                                              quad_traffic):
+        scores = alternate_overlap_scores(quad_network, quad_table,
+                                          quad_traffic)
+        w = adversarial_workload(quad_network, quad_table, quad_traffic,
+                                 horizon=40.0, seed=0, surge=3.0)
+        surged = {od for od, p in w.profiles if p.max_scale > 1.0}
+        assert surged
+        floor = sorted(scores.values())[len(scores) // 2]
+        assert all(scores[od] >= floor for od in surged)
+
+
+class TestScenarioIntegration:
+    def test_make_trace_matches_generate_workload_trace(self, quad_traffic):
+        scenario = Scenario(topology="quadrangle", traffic=55.0,
+                            policy="controlled", workload="flash-crowd")
+        workload = scenario.resolved_workload(20.0)
+        direct = generate_workload_trace(
+            scenario.traffic_matrix, workload, 20.0, seed=1
+        )
+        via_scenario = scenario.make_trace(20.0, seed=1)
+        assert np.array_equal(direct.times, via_scenario.times)
+        assert np.array_equal(direct.od_index, via_scenario.od_index)
+
+    def test_serving_plane_reproduces_simulator_on_nonstationary_trace(self):
+        from repro.serve import RequestEngine, replay_trace
+        from repro.sim.simulator import simulate
+
+        scenario = Scenario(topology="quadrangle", traffic=55.0,
+                            policy="controlled", workload="flash-crowd")
+        trace = scenario.make_trace(20.0, seed=4)
+        policy = scenario.build_policy("controlled")
+        reference = simulate(scenario.network, policy, trace, warmup=5.0)
+        report = replay_trace(
+            RequestEngine(scenario.network, policy), trace, warmup=5.0
+        )
+        assert np.array_equal(report.result.offered, reference.offered)
+        assert np.array_equal(report.result.blocked, reference.blocked)
+        assert reference.total_blocked > 0
+
+    def test_regime_shift_report_is_deterministic(self):
+        from repro.serve.loadgen import measure_regime_shift
+        from repro.serve.state import AdaptationConfig
+
+        scenario = Scenario(topology="quadrangle", traffic=55.0,
+                            policy="controlled", workload="flash-crowd")
+        workload = scenario.resolved_workload(20.0)
+        trace = scenario.make_trace(20.0, seed=4)
+        policy = scenario.build_policy("controlled")
+        adapt = AdaptationConfig(update_interval=4.0, ewma_weight=0.3)
+        kwargs = dict(shift_time=workload.shift_time, adaptation=adapt,
+                      warmup=5.0)
+        first = measure_regime_shift(scenario.network, policy, trace, **kwargs)
+        second = measure_regime_shift(scenario.network, policy, trace, **kwargs)
+        assert first["decisions_sha256"] == second["decisions_sha256"]
+        assert first["recompute_count"] > 0
+        assert first["time_to_reconverge"] is not None
+        static = measure_regime_shift(
+            scenario.network, policy, trace,
+            shift_time=workload.shift_time, adaptation=None, warmup=5.0,
+        )
+        assert static["time_to_reconverge"] is None
+        assert static["decisions_sha256"] != ""
+
+
+class TestLabCacheKeys:
+    def _scenario(self, workload):
+        return Scenario(topology="quadrangle", traffic=55.0,
+                        policy="controlled", workload=workload)
+
+    def test_workload_enters_scenario_signature(self):
+        import json
+
+        signatures = [
+            json.dumps(scenario_signature(self._scenario(w)), sort_keys=True)
+            for w in (None, "flash-crowd", "adversarial:0", "adversarial:1")
+        ]
+        assert len(set(signatures)) == 4
+        # No workload means no key at all: historical cache entries made
+        # before the workload field existed stay valid.
+        assert "workload" not in scenario_signature(self._scenario(None))
+
+    def test_second_pass_is_cached_and_workload_change_invalidates(
+        self, tmp_path
+    ):
+        lab = LabConfig(store=tmp_path)
+        scenario = self._scenario("flash-crowd")
+        first = run_study(scenario, config=CONFIG, lab=lab)
+        assert first.lab.cache_hits == 0
+        second = run_study(scenario, config=CONFIG, lab=lab)
+        assert second.lab.cache_hits == second.lab.total_jobs
+        assert second.stat == first.stat
+        shifted = run_study(self._scenario("adversarial:0"), config=CONFIG,
+                            lab=lab)
+        assert shifted.lab.cache_hits == 0
+        assert shifted.lab.simulated == len(CONFIG.seeds)
+
+    def test_lab_run_matches_direct_run(self, tmp_path):
+        scenario = self._scenario("flash-crowd")
+        direct = run_study(scenario, config=CONFIG)
+        labbed = run_study(scenario, config=CONFIG,
+                           lab=LabConfig(store=tmp_path))
+        assert labbed.stat == direct.stat
+
+
+class TestRegistryAndCli:
+    def test_exp_adv_registered_with_job_graph(self):
+        from repro.experiments.registry import EXPERIMENTS, experiment_job_graph
+
+        assert "EXP-ADV" in EXPERIMENTS
+        jobs = experiment_job_graph("EXP-ADV")
+        specs = {scenario.workload for scenario, __ in jobs}
+        assert None in specs  # the stationary control
+        assert any(isinstance(s, str) and s.startswith("adversarial")
+                   for s in specs)
+
+    def test_alias_resolves(self):
+        from repro.experiments.registry import experiment_job_graph
+
+        assert experiment_job_graph("adversarial-load") == \
+            experiment_job_graph("EXP-ADV")
+
+    def test_unknown_experiment_names_the_known_ids(self):
+        from repro.experiments.registry import experiment_job_graph
+
+        with pytest.raises(KeyError, match="EXP-ADV"):
+            experiment_job_graph("nope")
+
+    def test_cli_rejects_unknown_workload_with_usable_error(self, capsys):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="flash-crowd"):
+            main(["serve", "replay", "--topology", "quadrangle",
+                  "--traffic", "55", "--workload", "bogus",
+                  "--duration", "5"])
+
+    def test_cli_rejects_unknown_experiment_with_usable_error(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="EXP-ADV"):
+            main(["experiment", "nope"])
+
+    def test_regional_surge_and_diurnal_cover_all_pairs(self, quad_traffic):
+        for w in (regional_surge(4, horizon=40.0), diurnal(4, horizon=40.0)):
+            trace = generate_workload_trace(quad_traffic, w, 40.0, seed=0)
+            assert trace.num_calls > 0
+            assert (np.diff(trace.times) >= 0).all()

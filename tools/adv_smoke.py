@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke test for the adversarial & time-varying workload layer.
+
+Exercises the workload layer through both execution tiers a PR must not
+break, on a small quadrangle scenario so the whole thing runs in seconds:
+
+1. **trace determinism** — flash-crowd and adversarial workload traces are
+   regenerated twice in separate interpreter runs; the same
+   ``(workload, seed)`` pair must yield bit-identical arrivals (SHA-256
+   over the trace arrays);
+2. **decision determinism + simulator equivalence** — each workload trace
+   replays through the serve CLI in-process and over the socket; both
+   transports must report ``simulator_equivalent: true`` and identical
+   statistics (the loadgen equivalence proof, extended to nonstationary
+   input);
+3. **recompute activity** — an adaptive replay (``--adapt-interval``)
+   under the flash crowd must report a nonzero threshold-recompute count
+   (the regime shift is visible to the adaptation loop, not just to the
+   blocking statistics).
+
+Each replay leaves its telemetry snapshots as JSONL in the workdir so CI
+uploads them as artifacts, exactly like the other smoke jobs.
+
+Usage: PYTHONPATH=src python tools/adv_smoke.py [--workdir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+WORKLOADS = ("flash-crowd", "adversarial:7")
+
+BASE_ARGS = [
+    "serve", "replay",
+    "--topology", "quadrangle", "--traffic", "55",
+    "--policy", "controlled",
+    "--duration", "12", "--warmup", "3", "--seed", "5",
+    "--json",
+]
+
+#: Statistics that must not change when the transport does.
+INVARIANT_KEYS = (
+    "calls", "requests", "network_blocking", "alternate_fraction",
+    "simulator_equivalent",
+)
+
+TRACE_DIGEST_SNIPPET = """
+import hashlib
+from repro.api import Scenario
+scenario = Scenario(topology="quadrangle", traffic=55.0,
+                    policy="controlled", workload={workload!r})
+trace = scenario.make_trace(15.0, seed=5)
+digest = hashlib.sha256()
+for array in (trace.times, trace.od_index, trace.holding_times,
+              trace.uniforms):
+    digest.update(array.tobytes())
+print(digest.hexdigest())
+"""
+
+
+def cli_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(REPO / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def run_checked(argv: list[str]) -> str:
+    completed = subprocess.run(
+        argv, capture_output=True, text=True, env=cli_env(), cwd=REPO,
+    )
+    if completed.returncode != 0:
+        print(completed.stdout, completed.stderr, sep="\n", file=sys.stderr)
+        raise SystemExit(f"{' '.join(argv[-3:])} exited {completed.returncode}")
+    return completed.stdout
+
+
+def trace_digest(workload: str) -> str:
+    snippet = TRACE_DIGEST_SNIPPET.format(workload=workload)
+    return run_checked([sys.executable, "-c", snippet]).strip()
+
+
+def run_replay(workload: str, extra: list[str]) -> dict:
+    out = run_checked(
+        [sys.executable, "-m", "repro.cli", *BASE_ARGS,
+         "--workload", workload, *extra]
+    )
+    return json.loads(out)
+
+
+def check_telemetry(log: Path) -> int:
+    if not log.is_file():
+        raise SystemExit(f"no telemetry log at {log}")
+    events = [json.loads(line) for line in log.read_text().splitlines() if line]
+    snapshots = [e for e in events if e.get("kind") == "serve_metrics"]
+    if not snapshots:
+        raise SystemExit(f"{log} holds no serve_metrics events")
+    return len(snapshots)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workdir", type=Path, default=Path("adv-smoke-artifacts")
+    )
+    args = parser.parse_args()
+
+    workdir = args.workdir.resolve()
+    if workdir.exists():
+        shutil.rmtree(workdir)
+    workdir.mkdir(parents=True)
+
+    print("[1/3] workload trace determinism across interpreter runs")
+    for workload in WORKLOADS:
+        first, second = trace_digest(workload), trace_digest(workload)
+        if first != second:
+            raise SystemExit(
+                f"{workload}: trace digests differ across runs "
+                f"({first[:12]} != {second[:12]})"
+            )
+        print(f"      {workload}: sha256 {first[:16]}… (stable)")
+
+    print("[2/3] in-process vs socket replay, verified against the simulator")
+    logs = []
+    for workload in WORKLOADS:
+        slug = workload.replace(":", "-")
+        in_log = workdir / f"adv-{slug}-in-process.jsonl"
+        sock_log = workdir / f"adv-{slug}-socket.jsonl"
+        logs += [in_log, sock_log]
+        in_process = run_replay(workload, ["--events", str(in_log)])
+        socket = run_replay(workload, ["--socket", "--events", str(sock_log)])
+        for report, transport in ((in_process, "in-process"), (socket, "socket")):
+            if report["simulator_equivalent"] is not True:
+                raise SystemExit(
+                    f"{workload} {transport} replay did not match the simulator"
+                )
+        for key in INVARIANT_KEYS:
+            if socket[key] != in_process[key]:
+                raise SystemExit(
+                    f"{workload}: socket and in-process disagree on {key}: "
+                    f"{socket[key]!r} != {in_process[key]!r}"
+                )
+        print(
+            f"      {workload}: {in_process['calls']} calls, "
+            f"blocking {in_process['network_blocking']:.4f}, both transports "
+            "simulator-identical"
+        )
+
+    print("[3/3] adaptive replay sees the regime shift")
+    adaptive_log = workdir / "adv-adaptive.jsonl"
+    logs.append(adaptive_log)
+    adaptive = run_replay(
+        "flash-crowd",
+        ["--adapt-interval", "3", "--events", str(adaptive_log)],
+    )
+    recomputes = adaptive["threshold_recomputes"]
+    if not recomputes:
+        raise SystemExit(
+            "adaptive flash-crowd replay reported zero threshold recomputes"
+        )
+    print(
+        f"      {recomputes} recomputes, last max |delta r| "
+        f"{adaptive['last_refresh_delta']:g}"
+    )
+
+    for log in logs:
+        count = check_telemetry(log)
+        print(f"      {log.name}: {count} serve_metrics snapshots")
+
+    print(
+        "OK: workload traces are replayable, decisions are transport- and "
+        "simulator-identical, and adaptation tracks the surge"
+    )
+    print(f"telemetry: {workdir}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
