@@ -1,8 +1,8 @@
 """PERF-CORE — timing trajectory for the vectorized analysis/simulation core.
 
 Three workloads, each timed against the retained unvectorized reference
-path (``reference=True``) and checked for agreement before any speedup is
-reported:
+path (``backend="reference"`` for the simulator, ``reference=True`` for the
+analysis kernels) and checked for agreement before any speedup is reported:
 
 * **Erlang fixed point, NSFNet sweep** — the reduced-load approximation
   over a grid of load scales, cold caches.  Analysis agreement is numeric
@@ -123,7 +123,7 @@ def _simulator_bench(duration: float) -> dict:
     trace = generate_trace(traffic, duration + 10.0, seed=42)
 
     fast = simulate(network, policy, trace, warmup=10.0)
-    ref = simulate(network, policy, trace, warmup=10.0, reference=True)
+    ref = simulate(network, policy, trace, warmup=10.0, backend="reference")
     for name in ("offered", "blocked", "primary_carried", "alternate_carried"):
         assert np.array_equal(getattr(fast, name), getattr(ref, name)), (
             f"simulator fast path diverged from reference on {name!r}"
@@ -132,7 +132,7 @@ def _simulator_bench(duration: float) -> dict:
     timings = _interleaved_best(
         {
             "reference": lambda: simulate(
-                network, policy, trace, warmup=10.0, reference=True
+                network, policy, trace, warmup=10.0, backend="reference"
             ),
             "fast": lambda: simulate(network, policy, trace, warmup=10.0),
         },

@@ -23,7 +23,14 @@ Quick tour (see README.md for the narrative)::
     print(result.network_blocking)
 """
 
-from .api import LabConfig, Scenario, StudyResult, run_scenario, run_study
+from .api import (
+    BatchResult,
+    LabConfig,
+    Scenario,
+    StudyResult,
+    run_scenario,
+    run_study,
+)
 from .analysis import (
     FairnessReport,
     FixedPointResult,
@@ -83,6 +90,7 @@ __all__ = [
     # façade
     "Scenario",
     "StudyResult",
+    "BatchResult",
     "LabConfig",
     "run_scenario",
     "run_study",

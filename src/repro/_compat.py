@@ -6,6 +6,12 @@ lists grow over time, and positional call sites silently change meaning when
 a field is inserted.  Legacy positional construction keeps working for now
 through :func:`positional_shim`, which maps positional arguments onto fields
 in declaration order and emits a :class:`DeprecationWarning`.
+
+Backend selection went through a similar migration: the scattered
+``reference: bool`` flags on ``simulate`` / ``run_scenario`` became one
+``backend=`` keyword (``"auto"`` / ``"batch"`` / ``"fast"`` / ``"reference"``).
+:func:`resolve_backend` collapses both spellings in one place and emits the
+deprecation warning for the legacy flag.
 """
 
 from __future__ import annotations
@@ -13,7 +19,51 @@ from __future__ import annotations
 import warnings
 from dataclasses import fields
 
-__all__ = ["positional_shim"]
+__all__ = ["BACKENDS", "positional_shim", "resolve_backend"]
+
+#: Valid values for the unified ``backend=`` keyword, in resolution order:
+#: ``auto`` picks the fastest exact engine for the job, ``batch`` requests the
+#: lockstep many-seeds kernel (falling back when ineligible), ``fast`` the
+#: per-seed vectorized loop, ``reference`` the general event-loop oracle.
+BACKENDS = ("auto", "batch", "fast", "reference")
+
+
+def resolve_backend(
+    backend: str | None = None,
+    reference: bool | None = None,
+    *,
+    owner: str = "simulate",
+    default: str = "auto",
+) -> str:
+    """Collapse the legacy ``reference=`` flag and ``backend=`` into one value.
+
+    ``reference`` left at ``None`` means "not passed"; a real boolean maps to
+    ``backend="reference"`` (``True``) or the default (``False``) with a
+    :class:`DeprecationWarning`.  Passing both spellings is allowed only when
+    they agree; a contradiction raises :class:`ValueError`, as does an unknown
+    backend name.
+    """
+    if reference is not None:
+        warnings.warn(
+            f"{owner}(reference=...) is deprecated; pass "
+            f'backend="reference" (or backend="auto") instead',
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        mapped = "reference" if reference else default
+        if backend is not None and backend != mapped:
+            raise ValueError(
+                f"conflicting backend selection: reference={reference!r} means "
+                f"backend={mapped!r}, but backend={backend!r} was also passed"
+            )
+        backend = mapped
+    if backend is None:
+        backend = default
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {', '.join(BACKENDS)}"
+        )
+    return backend
 
 
 def positional_shim(cls):

@@ -28,6 +28,9 @@ from dataclasses import dataclass, replace
 from functools import cached_property
 from typing import TYPE_CHECKING, Mapping
 
+import numpy as np
+
+from ._compat import resolve_backend
 from .lab.config import LabConfig
 from .experiments.runner import (
     PAPER_CONFIG,
@@ -41,6 +44,7 @@ from .routing.alternate import (
     UncontrolledAlternateRouting,
 )
 from .routing.base import RoutingPolicy
+from .routing.dar import DynamicAlternateRouting, PowerOfDAlternateRouting
 from .routing.shadow import OttKrishnanRouting
 from .routing.single_path import SinglePathRouting
 from .sim.metrics import SimulationResult, SweepStatistic
@@ -60,7 +64,14 @@ from .sim.trace import ArrivalTrace
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .lab.scheduler import LabRunReport
 
-__all__ = ["Scenario", "StudyResult", "LabConfig", "run_scenario", "run_study"]
+__all__ = [
+    "Scenario",
+    "StudyResult",
+    "BatchResult",
+    "LabConfig",
+    "run_scenario",
+    "run_study",
+]
 
 
 _TOPOLOGIES = {
@@ -69,7 +80,7 @@ _TOPOLOGIES = {
 }
 
 _POLICIES = ("single-path", "uncontrolled", "controlled", "length-adaptive",
-             "ott-krishnan")
+             "ott-krishnan", "dar", "power-of-d")
 
 
 def _resolve_network(spec: Network | str) -> Network:
@@ -119,7 +130,7 @@ class Scenario:
         whatever matrix results.
     ``policy``
         One of ``single-path``, ``uncontrolled``, ``controlled``,
-        ``length-adaptive``, ``ott-krishnan``.
+        ``length-adaptive``, ``ott-krishnan``, ``dar``, ``power-of-d``.
     ``max_hops``
         The paper's ``H`` (alternate-path hop cap); ``None`` = unrestricted.
     ``workload``
@@ -173,6 +184,10 @@ class Scenario:
             return SinglePathRouting(network, table)
         if name == "uncontrolled":
             return UncontrolledAlternateRouting(network, table)
+        if name == "dar":
+            return DynamicAlternateRouting(network, table)
+        if name == "power-of-d":
+            return PowerOfDAlternateRouting(network, table, d=2)
         loads = primary_link_loads(network, table, self.traffic_matrix)
         if name == "controlled":
             return ControlledAlternateRouting(network, table, loads)
@@ -247,25 +262,84 @@ class StudyResult:
         return {name: outcome.stat for name, outcome in self.outcomes.items()}
 
 
+@dataclass(frozen=True)
+class BatchResult(StudyResult):
+    """A :class:`StudyResult` whose replications ran through the batch kernel.
+
+    :func:`run_study` returns this subclass whenever at least one policy's
+    seeds were simulated by the lockstep many-seeds backend.  The aggregate
+    interface (``.stat``, ``.blocking()``, ``.outcomes``) is inherited
+    unchanged and bit-identical to a per-seed run; what this adds is the
+    seed axis as arrays, plus :meth:`per_seed` for code that wants the
+    historical per-seed result list.
+    """
+
+    def _outcome_for(self, policy: str | None) -> ReplicationOutcome:
+        return self.outcome if policy is None else self.outcomes[policy]
+
+    def per_seed(self, policy: str | None = None) -> list[SimulationResult]:
+        """The per-seed :class:`SimulationResult` list, in seed order.
+
+        This is exactly what ``outcome.results`` holds for a per-seed run,
+        so existing experiments/registry code can consume batch output
+        untouched.
+        """
+        return list(self._outcome_for(policy).results)
+
+    def seeds(self, policy: str | None = None) -> tuple[int, ...]:
+        """The seeds simulated for ``policy``, in result order."""
+        return tuple(result.seed for result in self._outcome_for(policy).results)
+
+    def blocking_by_seed(self, policy: str | None = None) -> np.ndarray:
+        """Network blocking probability per seed, shape ``(seeds,)``."""
+        return np.array(
+            [result.network_blocking for result in self._outcome_for(policy).results]
+        )
+
+    def offered_matrix(self, policy: str | None = None) -> np.ndarray:
+        """Offered calls per seed and O-D pair, shape ``(seeds, pairs)``."""
+        return np.stack(
+            [result.offered for result in self._outcome_for(policy).results]
+        )
+
+    def blocked_matrix(self, policy: str | None = None) -> np.ndarray:
+        """Blocked calls per seed and O-D pair, shape ``(seeds, pairs)``."""
+        return np.stack(
+            [result.blocked for result in self._outcome_for(policy).results]
+        )
+
+    @property
+    def backends(self) -> dict[str, str]:
+        """Which execution backend produced each policy's replications."""
+        return {
+            name: outcome.backend or "per-seed"
+            for name, outcome in self.outcomes.items()
+        }
+
+
 def run_scenario(
     scenario: Scenario,
     *,
     seed: int = 0,
     duration: float = PAPER_CONFIG.duration,
     warmup: float = PAPER_CONFIG.warmup,
-    reference: bool = False,
+    reference: bool | None = None,
+    backend: str | None = None,
 ) -> SimulationResult:
     """Simulate one seed of a scenario; returns the full per-pair result.
 
     ``duration`` is total simulated time including the ``warmup`` transient
-    (the paper's protocol: 110 units, first 10 discarded).  ``reference=True``
-    routes through the simulator's unvectorized reference loop — same
-    statistics, for validation.
+    (the paper's protocol: 110 units, first 10 discarded).  ``backend``
+    selects the simulation engine — ``"auto"`` (default), ``"batch"``,
+    ``"fast"``, or ``"reference"`` for the unvectorized oracle loop; all
+    produce bit-identical statistics.  The legacy ``reference=True`` flag
+    maps to ``backend="reference"`` with a :class:`DeprecationWarning`.
     """
+    resolved = resolve_backend(backend, reference, owner="run_scenario")
     trace = scenario.make_trace(duration, seed)
     return simulate(
         scenario.network, scenario.build_policy(), trace, warmup,
-        reference=reference,
+        backend=resolved,
     )
 
 
@@ -279,6 +353,7 @@ def run_study(
     seed_timeout: float | None = None,
     max_seed_retries: int = 1,
     lab: LabConfig | None = None,
+    backend: str = "auto",
 ) -> StudyResult:
     """Run the paper's multi-seed replication protocol for a scenario.
 
@@ -287,6 +362,14 @@ def run_study(
     numbers (identical traces per seed, the paper's comparison discipline).
     ``parallel=True`` fans seeds over a process pool with the hardened
     runner's timeout/retry/fallback machinery.
+
+    ``backend`` selects the execution engine per replication group.  Under
+    ``"auto"`` (and ``"batch"``) the serial path groups compatible seeds
+    into one lockstep batch-kernel invocation, falling back to the per-seed
+    loops for configurations the kernel cannot express (and for parallel
+    pools, which stay per-seed by construction); ``"fast"`` / ``"reference"``
+    force the per-seed loops.  Results are bit-identical across backends;
+    when the batch kernel ran, the returned study is a :class:`BatchResult`.
 
     ``lab=LabConfig(...)`` routes the study through :mod:`repro.lab`: each
     ``(policy, seed)`` replication is looked up in a content-addressed
@@ -305,13 +388,14 @@ def run_study(
     served from its result store without simulating — so
     ``wall_clock`` then measures the store lookup, not a simulation.
     """
+    backend = resolve_backend(backend, None, owner="run_study")
     if lab is not None:
         from .lab.scheduler import run_lab_study
 
         return run_lab_study(
             scenario, policies=policies, config=config, lab=lab,
             parallel=parallel, max_workers=max_workers,
-            max_seed_retries=max_seed_retries,
+            max_seed_retries=max_seed_retries, backend=backend,
         )
     names = (scenario.policy,) if policies is None else tuple(policies)
     workload = scenario.resolved_workload(config.duration)
@@ -327,6 +411,11 @@ def run_study(
             scenario.traffic_matrix, config,
             traces=traces, parallel=parallel, max_workers=max_workers,
             seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
-            workload=workload,
+            workload=workload, backend=backend,
         )
-    return StudyResult(outcomes=outcomes, config=config)
+    cls = (
+        BatchResult
+        if any(outcome.backend == "batch" for outcome in outcomes.values())
+        else StudyResult
+    )
+    return cls(outcomes=outcomes, config=config)

@@ -288,7 +288,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         "controlled": ControlledAlternateRouting(network, table, loads),
         "length-adaptive": LengthAdaptiveControlledRouting(network, table, loads),
     }
-    stats = compare_policies(network, policies, traffic, _config(args))
+    stats = compare_policies(
+        network, policies, traffic, _config(args), backend=args.backend
+    )
     controlled = policies["controlled"]
     protected = int(np.count_nonzero(controlled.protection_levels))
     bound = (
@@ -392,7 +394,7 @@ def _run_lab_studies(studies, args, config=None) -> int:
             study = run_study(
                 scenario, policies=policies, config=config,
                 parallel=args.workers != 0, max_workers=args.workers or None,
-                lab=lab,
+                lab=lab, backend=getattr(args, "backend", "auto"),
             )
         except LabInterrupted as exc:
             print(exc.report.describe(), file=sys.stderr)
@@ -1023,6 +1025,10 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--seeds", type=int, default=10)
     evaluate.add_argument("--duration", type=float, default=100.0)
     evaluate.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    evaluate.add_argument("--backend", choices=["auto", "batch", "fast", "reference"],
+                          default="auto",
+                          help="simulation engine (all are bit-identical; "
+                               "auto batches the seeds when possible)")
     evaluate.set_defaults(func=_cmd_evaluate)
 
     report = sub.add_parser("report", help="regenerate every experiment into one report")
@@ -1049,6 +1055,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run a registered experiment's lab job graph instead")
     run.add_argument("--seeds", type=_positive_int, default=10)
     run.add_argument("--duration", type=float, default=100.0)
+    run.add_argument("--backend", choices=["auto", "batch", "fast", "reference"],
+                     default="auto",
+                     help="simulation engine (all are bit-identical; "
+                          "auto batches each policy's seeds when possible)")
     run.set_defaults(func=_cmd_lab_run)
 
     resume = lab_sub.add_parser(

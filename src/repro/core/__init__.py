@@ -22,6 +22,7 @@ from .protection import (
     displacement_bound,
     figure2_curve,
     min_protection_level,
+    min_protection_levels,
     protection_levels,
 )
 from .theorem import (
@@ -50,6 +51,7 @@ __all__ = [
     "displacement_bound",
     "figure2_curve",
     "min_protection_level",
+    "min_protection_levels",
     "protection_levels",
     "TheoremCheck",
     "displacement_profile",

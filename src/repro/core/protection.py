@@ -29,6 +29,7 @@ __all__ = [
     "displacement_bound",
     "min_protection_level",
     "min_protection_level_grid",
+    "min_protection_levels",
     "protection_levels",
     "figure2_curve",
 ]
@@ -125,6 +126,40 @@ def min_protection_level_grid(
         index = int(np.searchsorted(log_y[row], thresholds[row], side="right")) - 1
         found[row] = capacity if index < 0 else capacity - index
     levels[positive] = found
+    return levels
+
+
+def min_protection_levels(
+    loads: Sequence[float] | np.ndarray,
+    capacities: Sequence[int] | np.ndarray,
+    max_hops: int | Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Batch entry point: Theorem-1 levels for per-link ``(load, capacity)`` pairs.
+
+    The whole-network analogue of :func:`min_protection_level_grid`: links are
+    grouped by their ``(capacity, max_hops)`` pair and each group shares one
+    log-space recursion sweep, so a network whose links mostly share a capacity
+    costs one grid pass instead of one scalar recursion per link.  ``max_hops``
+    may be a scalar ``H`` or a per-link array (footnote 5's ``H^k``).  Links
+    with zero capacity get level 0, matching the call-site convention of the
+    routing policies.  Bit-identical to calling :func:`min_protection_level`
+    per link.
+    """
+    load_arr = np.asarray(loads, dtype=float)
+    cap_arr = np.asarray(capacities, dtype=np.int64)
+    if load_arr.ndim != 1 or load_arr.shape != cap_arr.shape:
+        raise ValueError("loads and capacities must be parallel 1-d arrays")
+    hop_arr = np.broadcast_to(np.asarray(max_hops, dtype=np.int64), cap_arr.shape)
+    if hop_arr.size and (hop_arr < 1).any():
+        raise ValueError("max_hops must be >= 1")
+    levels = np.zeros(cap_arr.size, dtype=np.int64)
+    for capacity, hops in set(zip(cap_arr.tolist(), hop_arr.tolist())):
+        if capacity < 1:
+            continue
+        members = np.flatnonzero((cap_arr == capacity) & (hop_arr == hops))
+        levels[members] = min_protection_level_grid(
+            load_arr[members], int(capacity), int(hops)
+        )
     return levels
 
 

@@ -26,8 +26,9 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
-from .._compat import positional_shim
+from .._compat import positional_shim, resolve_backend
 from ..routing.base import RoutingPolicy
+from ..sim.batch import batch_ineligibility, simulate_batch
 from ..sim.metrics import SimulationResult, SweepStatistic, aggregate
 from ..sim.simulator import simulate
 from ..sim.trace import ArrivalTrace, generate_trace
@@ -79,19 +80,20 @@ _WORKER_CONTEXT: dict[str, tuple] = {}
 
 
 def _install_worker_context(
-    network, policy, traffic, duration, warmup, workload=None
+    network, policy, traffic, duration, warmup, workload=None, backend="auto"
 ) -> None:
     """Pool initializer: stash the shared (network, policy, ...) context."""
     _WORKER_CONTEXT["shared"] = (
-        network, policy, traffic, duration, warmup, workload
+        network, policy, traffic, duration, warmup, workload, backend
     )
 
 
 def _shared_context_worker(seed: int) -> SimulationResult:
     """Run one seed against the worker-process shared context."""
-    network, policy, traffic, duration, warmup, workload = _WORKER_CONTEXT["shared"]
+    (network, policy, traffic, duration, warmup, workload,
+     backend) = _WORKER_CONTEXT["shared"]
     trace = _make_trace(traffic, workload, duration, seed)
-    return simulate(network, policy, trace, warmup)
+    return simulate(network, policy, trace, warmup, backend=backend)
 
 
 def _timed_call(worker: Callable, payload) -> tuple[float, SimulationResult]:
@@ -148,7 +150,10 @@ class SeedStatus:
     expiries, the exception text otherwise.  ``wall_clock`` is the
     in-process compute time, in seconds, of the successful attempt (pool
     queueing excluded); ``None`` until the seed completes.  ``cached`` marks
-    seeds served from the lab's result store without simulating.
+    seeds served from the lab's result store without simulating.  ``backend``
+    names the engine that produced the result: ``"batch"`` when the seed ran
+    inside a lockstep batch-kernel group (``wall_clock`` is then the group's
+    time split evenly), otherwise the per-seed backend that was requested.
     """
 
     seed: int
@@ -159,6 +164,7 @@ class SeedStatus:
     errors: tuple[str, ...] = ()
     wall_clock: float | None = None
     cached: bool = False
+    backend: str | None = None
 
     def describe(self) -> str:
         if self.completed:
@@ -175,12 +181,20 @@ class SeedStatus:
 
 @dataclass
 class ReplicationOutcome:
-    """Aggregate plus the per-seed status report of one replication sweep."""
+    """Aggregate plus the per-seed status report of one replication sweep.
+
+    ``backend`` names the engine that produced the results: ``"batch"`` when
+    the whole sweep ran through the lockstep batch kernel, otherwise the
+    per-seed backend that executed (``"auto"``, ``"fast"`` or
+    ``"reference"``).  All engines are bit-identical, so the field is
+    provenance, not semantics.
+    """
 
     stat: SweepStatistic
     results: list[SimulationResult]
     statuses: list[SeedStatus]
     pool_broken: bool = False
+    backend: str | None = None
 
     @property
     def failed_seeds(self) -> tuple[int, ...]:
@@ -310,6 +324,40 @@ def _run_payloads_parallel(
     return results, statuses, pool_broken
 
 
+def _try_batch(
+    network: Network,
+    policy: RoutingPolicy,
+    traces: Sequence[ArrivalTrace],
+    config: ReplicationConfig,
+    statuses_map: dict[int, SeedStatus],
+    results_map: dict[int, SimulationResult],
+) -> bool:
+    """Attempt the whole seed group in one lockstep batch-kernel run.
+
+    Returns True (with ``results_map``/``statuses_map`` filled) when the
+    batch kernel handled the group, False when the configuration is
+    inexpressible or the kernel errored — the caller then falls back to the
+    per-seed loop, which accepts everything.  Per-seed wall-clock is the
+    group's time split evenly: the kernel advances all seeds together, so
+    no finer attribution exists.
+    """
+    if len(traces) < 2 or batch_ineligibility(policy, traces) is not None:
+        return False
+    start = time.perf_counter()
+    try:
+        batch_results = simulate_batch(network, policy, traces, config.warmup)
+    except Exception:  # noqa: BLE001 - per-seed loop is the safety net
+        return False
+    share = (time.perf_counter() - start) / len(traces)
+    for index, (trace, result) in enumerate(zip(traces, batch_results)):
+        results_map[index] = result
+        statuses_map[index] = SeedStatus(
+            seed=trace.seed, completed=True, attempts=1,
+            wall_clock=share, backend="batch",
+        )
+    return True
+
+
 def run_replications_detailed(
     network: Network,
     policy: RoutingPolicy,
@@ -322,6 +370,7 @@ def run_replications_detailed(
     max_seed_retries: int = 1,
     worker: Callable = _replication_worker,
     workload: Workload | None = None,
+    backend: str = "auto",
 ) -> ReplicationOutcome:
     """Run one policy over all seeds; returns the full per-seed outcome.
 
@@ -329,6 +378,13 @@ def run_replications_detailed(
     generator (:func:`~repro.traffic.workload.generate_workload_trace`);
     ``None`` keeps the historical stationary traces bit for bit.  It is
     ignored when explicit ``traces`` are supplied.
+
+    ``backend`` selects the execution engine.  Under ``"auto"`` or
+    ``"batch"`` the serial path first tries to run all seeds in one
+    lockstep batch-kernel invocation (:func:`repro.sim.batch.simulate_batch`),
+    falling back per seed when the configuration is inexpressible;
+    ``"fast"`` / ``"reference"`` force the per-seed loops.  Every engine is
+    bit-identical, so the choice affects speed and provenance only.
 
     ``parallel=True`` fans the seeds over a process pool — results are
     bit-identical to the serial path (each seed is fully self-contained).
@@ -344,6 +400,9 @@ def run_replications_detailed(
     reported in the outcome's statuses; the sweep still completes unless
     *every* seed failed (then ``RuntimeError``).
     """
+    backend = resolve_backend(backend, None, owner="run_replications_detailed")
+    per_seed_backend = backend if backend in ("fast", "reference") else "auto"
+    used_batch = False
     if parallel and traces is None:
         if worker is _replication_worker:
             # Default worker: ship the shared (network, policy, traffic)
@@ -357,7 +416,7 @@ def run_replications_detailed(
                 seed_timeout, max_seed_retries, max_workers,
                 initializer=_install_worker_context,
                 initargs=(network, policy, traffic, config.duration,
-                          config.warmup, workload),
+                          config.warmup, workload, per_seed_backend),
             )
         else:
             # Injected worker (tests, custom pipelines): keep the historical
@@ -379,20 +438,34 @@ def run_replications_detailed(
         seeds = [trace.seed for trace in traces]
         statuses_map = {i: SeedStatus(seed=seeds[i]) for i in range(len(payloads))}
         results_map = {}
-        _run_payloads_serial(
-            payloads,
-            lambda trace: simulate(network, policy, trace, config.warmup),
-            statuses_map, results_map,
-            range(len(payloads)), max_seed_retries, fallback=False,
-        )
+        if backend in ("auto", "batch"):
+            used_batch = _try_batch(
+                network, policy, traces, config, statuses_map, results_map
+            )
+        if not used_batch:
+            _run_payloads_serial(
+                payloads,
+                lambda trace: simulate(
+                    network, policy, trace, config.warmup,
+                    backend=per_seed_backend,
+                ),
+                statuses_map, results_map,
+                range(len(payloads)), max_seed_retries, fallback=False,
+            )
         pool_broken = False
     statuses = [statuses_map[i] for i in sorted(statuses_map)]
     results = [results_map[i] for i in sorted(results_map)]
     if not results:
         report = "; ".join(s.describe() for s in statuses)
         raise RuntimeError(f"every replication seed failed: {report}")
+    for status in statuses:
+        if status.backend is None:
+            status.backend = per_seed_backend
     stat = aggregate([result.network_blocking for result in results])
-    return ReplicationOutcome(stat, results, statuses, pool_broken)
+    return ReplicationOutcome(
+        stat, results, statuses, pool_broken,
+        backend="batch" if used_batch else per_seed_backend,
+    )
 
 
 def run_replications(
@@ -406,6 +479,7 @@ def run_replications(
     seed_timeout: float | None = None,
     max_seed_retries: int = 1,
     workload: Workload | None = None,
+    backend: str = "auto",
 ) -> tuple[SweepStatistic, list[SimulationResult]]:
     """Run one policy over all seeds; returns aggregate blocking + raw results.
 
@@ -418,7 +492,7 @@ def run_replications(
         network, policy, traffic, config,
         traces=traces, parallel=parallel, max_workers=max_workers,
         seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
-        workload=workload,
+        workload=workload, backend=backend,
     )
     return outcome.stat, outcome.results
 
@@ -432,6 +506,7 @@ def compare_policies(
     max_workers: int | None = None,
     seed_timeout: float | None = None,
     max_seed_retries: int = 1,
+    backend: str = "auto",
 ) -> dict[str, SweepStatistic]:
     """Run several policies on *identical* traces and aggregate each.
 
@@ -440,7 +515,9 @@ def compare_policies(
     the arrival processes.  ``parallel=True`` fans seeds over a process pool
     per policy; trace generation is deterministic per seed, so the common-
     random-numbers discipline is preserved (workers rebuild the same traces
-    — and a retried seed rebuilds the same trace again).
+    — and a retried seed rebuilds the same trace again).  ``backend``
+    selects the execution engine per policy sweep (see
+    :func:`run_replications_detailed`); all engines are bit-identical.
     """
     comparison: dict[str, SweepStatistic] = {}
     if parallel:
@@ -449,12 +526,15 @@ def compare_policies(
                 network, policy, traffic, config,
                 parallel=True, max_workers=max_workers,
                 seed_timeout=seed_timeout, max_seed_retries=max_seed_retries,
+                backend=backend,
             )
             comparison[label] = stat
         return comparison
     traces = [generate_trace(traffic, config.duration, seed) for seed in config.seeds]
     for label, policy in policies.items():
-        stat, __ = run_replications(network, policy, traffic, config, traces=traces)
+        stat, __ = run_replications(
+            network, policy, traffic, config, traces=traces, backend=backend
+        )
         comparison[label] = stat
     return comparison
 

@@ -43,7 +43,12 @@ from ..sim.metrics import aggregate
 from .config import LabConfig
 from .events import EventBus
 from .hashing import config_signature, job_key, scenario_signature, study_key
-from .store import RESULT_SCHEMA_VERSION, ResultStore, repro_version
+from .store import (
+    RESULT_SCHEMA_VERSION,
+    ResultStore,
+    repro_version,
+    result_from_document,
+)
 
 __all__ = [
     "JobSpec",
@@ -263,7 +268,10 @@ class _StudyRun:
         return self.report.simulated < self.lab.max_jobs
 
 
-def _provenance(scenario_sig, config_sig, job: JobSpec) -> dict:
+def _provenance(scenario_sig, config_sig, job: JobSpec, backend: str = "auto") -> dict:
+    # The backend is recorded for provenance, never hashed into job_key:
+    # every engine is bit-identical, so results produced by one backend must
+    # keep cache-hitting runs requested under another.
     return {
         "repro_version": repro_version(),
         "result_schema_version": RESULT_SCHEMA_VERSION,
@@ -271,22 +279,73 @@ def _provenance(scenario_sig, config_sig, job: JobSpec) -> dict:
         "policy": job.policy,
         "config": config_sig,
         "seed": job.seed,
+        "backend": backend,
     }
 
 
-def _simulate_job(scenario, policy_obj, config: ReplicationConfig, seed: int):
+def _simulate_job(scenario, policy_obj, config: ReplicationConfig, seed: int,
+                  backend: str = "auto"):
     """One job, in-process: regenerate the trace, simulate, time it."""
     from ..sim.simulator import simulate
 
     def worker(seed):
         trace = scenario.make_trace(config.duration, seed)
-        return simulate(scenario.network, policy_obj, trace, config.warmup)
+        return simulate(scenario.network, policy_obj, trace, config.warmup,
+                        backend=backend)
 
     return _timed_call(worker, seed)
 
 
+def _run_group_batch(run, scenario, scenario_sig, config_sig, config,
+                     policy_name, group) -> bool | None:
+    """Try one policy's pending seeds as a single lockstep batch-kernel run.
+
+    Returns ``True``/``False`` with the usual budget meaning when the batch
+    kernel handled the group, ``None`` when it could not (inexpressible
+    configuration, a lone seed, or a kernel error) — the caller then falls
+    back to the per-seed serial path.  Respects ``max_jobs`` by truncating
+    the group to the remaining budget; the cut seeds stay pending for the
+    resume pass, exactly as the serial scheduler leaves them.
+    """
+    from ..sim.batch import batch_ineligibility, simulate_batch
+
+    budget = None
+    if run.lab.max_jobs is not None:
+        budget = max(0, run.lab.max_jobs - run.report.simulated)
+        if budget == 0:
+            return False
+    truncated = budget is not None and budget < len(group)
+    batch_group = group[:budget] if truncated else list(group)
+    if len(batch_group) < 2:
+        return None
+    policy_obj = scenario.build_policy(policy_name)
+    traces = [scenario.make_trace(config.duration, job.seed)
+              for job in batch_group]
+    if batch_ineligibility(policy_obj, traces) is not None:
+        return None
+    for job in batch_group:
+        run.record_started(job, worker="batch")
+    start = time.perf_counter()
+    try:
+        results = simulate_batch(
+            scenario.network, policy_obj, traces, config.warmup
+        )
+    except Exception:  # noqa: BLE001 - the serial path is the safety net
+        for job in batch_group:
+            run.job_entry(job)["status"] = "pending"
+        return None
+    share = (time.perf_counter() - start) / len(batch_group)
+    for job, result in zip(batch_group, results):
+        run.store.put_result(
+            job.key, result,
+            _provenance(scenario_sig, config_sig, job, backend="batch"),
+        )
+        run.record_finished(job, share)
+    return not truncated
+
+
 def _run_group_serial(run, scenario, scenario_sig, config_sig, config,
-                      policy_name, group, max_seed_retries):
+                      policy_name, group, max_seed_retries, backend="auto"):
     policy_obj = scenario.build_policy(policy_name)
     for job in group:
         if not run.budget_left:
@@ -296,14 +355,17 @@ def _run_group_serial(run, scenario, scenario_sig, config_sig, config,
         while True:
             attempts += 1
             try:
-                elapsed, result = _simulate_job(scenario, policy_obj, config, job.seed)
+                elapsed, result = _simulate_job(
+                    scenario, policy_obj, config, job.seed, backend=backend
+                )
             except Exception as exc:  # noqa: BLE001 - report, keep scheduling
                 if attempts > max_seed_retries:
                     run.record_failed(job, f"{type(exc).__name__}: {exc}", attempts)
                     break
             else:
                 run.store.put_result(
-                    job.key, result, _provenance(scenario_sig, config_sig, job)
+                    job.key, result,
+                    _provenance(scenario_sig, config_sig, job, backend=backend),
                 )
                 run.record_finished(job, elapsed)
                 break
@@ -375,20 +437,33 @@ def run_lab_study(
     parallel: bool = False,
     max_workers: int | None = None,
     max_seed_retries: int = 1,
+    backend: str = "auto",
 ):
     """Run (or resume) a study through the content-addressed lab.
 
     The public entry point behind ``repro.api.run_study(..., lab=...)``.
     Returns the same :class:`~repro.api.StudyResult` a direct run produces
     — bit-identical, whatever mix of cache hits and fresh simulation served
-    it — with the pass's :class:`LabRunReport` attached as ``.lab``.
+    it — with the pass's :class:`LabRunReport` attached as ``.lab``
+    (a :class:`~repro.api.BatchResult` when the lockstep batch kernel
+    produced any of the results, this pass or a cached earlier one).
+
+    ``backend`` selects the execution engine.  Under ``"auto"``/``"batch"``
+    the serial scheduler runs each policy's pending seeds as one lockstep
+    batch-kernel group when the configuration allows, falling back per seed
+    otherwise; ``"fast"``/``"reference"`` force the per-seed loops.  Job
+    keys never include the backend — every engine is bit-identical — so
+    cached results keep hitting whatever backend produced them; the engine
+    is recorded in each stored result's provenance instead.
 
     Raises :class:`LabInterrupted` when the pass stops early (``max_jobs``
     budget or ``KeyboardInterrupt``); completed jobs are already
     checkpointed, so the identical call resumes the study.
     """
-    from ..api import StudyResult
+    from ..api import BatchResult, StudyResult
+    from .._compat import resolve_backend
 
+    backend = resolve_backend(backend, None, owner="run_lab_study")
     lab = lab if lab is not None else LabConfig()
     store = ResultStore(lab.store_path)
     names = (scenario.policy,) if policies is None else tuple(policies)
@@ -438,10 +513,18 @@ def run_lab_study(
                     name, group, max_workers, max_seed_retries,
                 )
             else:
-                ok = _run_group_serial(
-                    run, scenario, scenario_sig, config_sig, config,
-                    name, group, max_seed_retries,
-                )
+                ok = None
+                if backend in ("auto", "batch"):
+                    ok = _run_group_batch(
+                        run, scenario, scenario_sig, config_sig, config,
+                        name, group,
+                    )
+                if ok is None:
+                    per_seed = backend if backend in ("fast", "reference") else "auto"
+                    ok = _run_group_serial(
+                        run, scenario, scenario_sig, config_sig, config,
+                        name, group, max_seed_retries, backend=per_seed,
+                    )
             if not ok:
                 finished_all = False
                 break
@@ -470,7 +553,9 @@ def run_lab_study(
         results, statuses = [], []
         for seed in config.seeds:
             job = next(j for j in jobs if j.policy == name and j.seed == seed)
-            result = store.get_result(job.key)
+            document = store.get(job.key)
+            result = result_from_document(document)
+            job_backend = (document.get("provenance") or {}).get("backend")
             entry = manifest["jobs"][job.key]
             cached_job = job.key not in run.report.job_seconds
             statuses.append(SeedStatus(
@@ -478,10 +563,18 @@ def run_lab_study(
                 attempts=0 if cached_job else 1,
                 cached=cached_job,
                 wall_clock=entry.get("elapsed"),
+                backend=job_backend,
             ))
             results.append(result)
         stat = aggregate([result.network_blocking for result in results])
-        outcomes[name] = ReplicationOutcome(stat, results, statuses)
+        group_backend = (
+            "batch"
+            if any(s.backend == "batch" for s in statuses)
+            else backend if backend in ("fast", "reference") else "auto"
+        )
+        outcomes[name] = ReplicationOutcome(
+            stat, results, statuses, backend=group_backend
+        )
     run.emit_progress()
     bus.emit(
         "study_finished", study=skey, total_jobs=len(jobs),
@@ -489,4 +582,9 @@ def run_lab_study(
         elapsed=run.report.elapsed,
     )
     bus.close()
-    return StudyResult(outcomes=outcomes, config=config, lab=run.report)
+    cls = (
+        BatchResult
+        if any(outcome.backend == "batch" for outcome in outcomes.values())
+        else StudyResult
+    )
+    return cls(outcomes=outcomes, config=config, lab=run.report)

@@ -12,6 +12,7 @@ from .adaptive import (
     simulate_adaptive,
 )
 from .base import RouteChoice, RoutingPolicy, compile_route_choices
+from .dar import DynamicAlternateRouting, PowerOfDAlternateRouting
 from .estimator import EwmaRateEstimator, estimate_loads_from_trace
 from .least_busy import LeastBusyAlternateRouting
 from .minloss import MinLossSolution, optimize_primary_flows
@@ -31,6 +32,8 @@ __all__ = [
     "ThresholdUpdate",
     "simulate_adaptive",
     "LeastBusyAlternateRouting",
+    "DynamicAlternateRouting",
+    "PowerOfDAlternateRouting",
     "OttKrishnanRouting",
     "link_shadow_prices",
     "MinLossSolution",

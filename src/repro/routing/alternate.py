@@ -23,7 +23,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..core.protection import min_protection_level
+from ..core.protection import min_protection_levels
 from ..topology.graph import Network
 from ..topology.paths import Path, PathTable
 from .base import RoutingPolicy, compile_route_choices
@@ -133,19 +133,7 @@ class ControlledAlternateRouting(RoutingPolicy):
             if (levels < 0).any() or (levels > capacities).any():
                 raise ValueError("protection levels must lie in [0, capacity]")
         else:
-            levels = np.array(
-                [
-                    min_protection_level(
-                        loads[link.index],
-                        int(capacities[link.index]),
-                        int(hops[link.index]) if isinstance(hops, np.ndarray) else hops,
-                    )
-                    if capacities[link.index] > 0
-                    else 0
-                    for link in network.links
-                ],
-                dtype=np.int64,
-            )
+            levels = min_protection_levels(loads, capacities, hops)
         self.max_hops = hops
         self.primary_loads = loads
         self.protection_levels = levels
@@ -197,16 +185,6 @@ class LengthAdaptiveControlledRouting(RoutingPolicy):
         self.protection_by_length: dict[int, np.ndarray] = {}
         self.length_thresholds: dict[int, list[int]] = {}
         for length in sorted(lengths) or [1]:
-            levels = np.array(
-                [
-                    min_protection_level(
-                        loads[link.index], int(capacities[link.index]), length
-                    )
-                    if capacities[link.index] > 0
-                    else 0
-                    for link in network.links
-                ],
-                dtype=np.int64,
-            )
+            levels = min_protection_levels(loads, capacities, length)
             self.protection_by_length[length] = levels
             self.length_thresholds[length] = (capacities - levels).tolist()

@@ -22,7 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core.protection import min_protection_level
+from ..core.protection import min_protection_levels
 from ..routing.base import RoutingPolicy
 from ..topology.graph import Network
 
@@ -233,16 +233,8 @@ class NetworkState:
 
     def _apply_levels(self, now: float) -> None:
         capacities = self.capacities
-        levels = np.array(
-            [
-                min_protection_level(
-                    float(self._estimates[i]), int(capacities[i]),
-                    self.adaptation.max_hops,
-                )
-                if capacities[i] > 0 else 0
-                for i in range(capacities.size)
-            ],
-            dtype=np.int64,
+        levels = min_protection_levels(
+            self._estimates, capacities, self.adaptation.max_hops
         )
         previous = self.alt_thresholds.copy()
         self.alt_thresholds[:] = capacities - levels

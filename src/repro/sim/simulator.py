@@ -151,16 +151,33 @@ class LossNetworkSimulator:
         else:
             self.initial_occupancy = None
 
-    def run(self, reference: bool = False) -> SimulationResult:
-        """Run the simulation; ``reference=True`` forces the general loop.
+    def run(
+        self, reference: bool = False, backend: str | None = None
+    ) -> SimulationResult:
+        """Run the simulation under the requested ``backend``.
 
-        The fast loop is used automatically when the configuration fits its
-        specialization (threshold discipline, unit bandwidth, single-class
-        trace, no faults, no timeline bins, no link statistics); it makes
-        the identical admission decisions in the identical order, so the
-        returned statistics are bit-identical either way.
+        ``backend="auto"`` (the default) picks the fastest engine whose
+        specialization fits; ``"batch"`` requests the lockstep array kernel
+        (one-seed batch); ``"fast"`` the per-seed vectorized loop;
+        ``"reference"`` forces the general event loop.  All engines make the
+        identical admission decisions in the identical order, so the returned
+        statistics are bit-identical regardless of backend — ineligible
+        requests silently fall back down the chain (batch → fast → general).
+        The ``reference`` boolean is the internal pre-``backend`` spelling
+        (``True`` ≡ ``backend="reference"``); the deprecation shim for it
+        lives in :func:`repro.sim.simulator.simulate`.
         """
-        if not reference and self._fast_eligible():
+        if backend is None:
+            backend = "reference" if reference else "auto"
+        if backend == "reference":
+            return self._run_general()
+        if backend == "batch" and self._batch_eligible():
+            from .batch import BatchSimulator
+
+            return BatchSimulator(
+                self.network, self.policy, [self.trace], self.warmup
+            ).run()[0]
+        if self._fast_eligible():
             return self._run_fast()
         return self._run_general()
 
@@ -173,6 +190,17 @@ class LossNetworkSimulator:
             and trace.bandwidths is None
             and trace.class_index is None
             and self.policy.discipline == "threshold"
+        )
+
+    def _batch_eligible(self) -> bool:
+        from .batch import batch_ineligibility
+
+        return (
+            self.faults is None
+            and self.timeline_bin is None
+            and not self.collect_link_stats
+            and self.initial_occupancy is None
+            and batch_ineligibility(self.policy, [self.trace]) is None
         )
 
     def _run_fast(self) -> SimulationResult:
@@ -569,7 +597,7 @@ class LossNetworkSimulator:
                 while pick < len(cum) - 1 and u >= cum[pick]:
                     pick += 1
                 choice = route_options[pick]
-            path, used_alternate = run_call(choice, width)
+            path, used_alternate = run_call(choice, width, pair, call)
             if path is None:
                 if measured:
                     blocked[pair] += 1
@@ -636,7 +664,11 @@ class LossNetworkSimulator:
         """Compile one policy into the per-call lookup tables and closure.
 
         Returns ``(single_choice, multi, run_call, threshold_lists,
-        pristine_thresholds)``.  ``threshold_lists`` are the mutable per-link
+        pristine_thresholds)``.  ``run_call(choice, width, pair, call)`` is
+        the admission closure — ``pair``/``call`` are the O-D index and the
+        absolute call number, used only by the stateful random-alternate
+        disciplines (the others ignore them).  ``threshold_lists`` are the
+        mutable per-link
         threshold lists captured by the admission closure (empty for the
         shadow discipline) and ``pristine_thresholds`` their untouched
         copies; the fault plane zeroes entries of down links and restores
@@ -664,6 +696,20 @@ class LossNetworkSimulator:
                 raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
             thresholds = [int(t) for t in policy.alt_thresholds]
             run_call = self._make_threshold_step(capacities, thresholds, occupancy)
+            threshold_lists = [thresholds]
+        elif policy.discipline == "dar":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            thresholds = [int(t) for t in policy.alt_thresholds]
+            run_call = self._make_dar_step(policy, capacities, thresholds, occupancy)
+            threshold_lists = [thresholds]
+        elif policy.discipline == "power-of-d":
+            if policy.alt_thresholds is None:
+                raise ValueError(f"policy {policy.name!r} lacks alternate thresholds")
+            thresholds = [int(t) for t in policy.alt_thresholds]
+            run_call = self._make_power_of_d_step(
+                policy, capacities, thresholds, occupancy
+            )
             threshold_lists = [thresholds]
         elif policy.discipline == "length-threshold":
             tables = getattr(policy, "length_thresholds", None)
@@ -698,7 +744,7 @@ class LossNetworkSimulator:
         any link past its protection threshold.
         """
 
-        def step(choice, width):
+        def step(choice, width, pair, call):
             for link in choice.primary:
                 if occupancy[link] + width > capacities[link]:
                     break
@@ -723,7 +769,7 @@ class LossNetworkSimulator:
         refinement).  Primary admission is unchanged.
         """
 
-        def step(choice, width):
+        def step(choice, width, pair, call):
             for link in choice.primary:
                 if occupancy[link] + width > capacities[link]:
                     break
@@ -750,7 +796,7 @@ class LossNetworkSimulator:
         preference for short alternates.
         """
 
-        def step(choice, width):
+        def step(choice, width, pair, call):
             for link in choice.primary:
                 if occupancy[link] + width > capacities[link]:
                     break
@@ -776,6 +822,76 @@ class LossNetworkSimulator:
 
         return step
 
+    def _make_dar_step(self, policy, capacities, thresholds, occupancy):
+        """Admission closure for DAR (sticky random alternate) selection.
+
+        Each pair remembers one sticky alternate index (initially the
+        shortest alternate).  A primary-blocked call tries only the sticky
+        alternate; if that is infeasible the call is lost and the pair
+        resamples its sticky index from the call's positional draw in
+        ``policy.route_draws(trace)`` — draw ``j`` belongs to call ``j``
+        whether or not earlier calls consumed theirs, which is what keeps
+        the scalar loop and the batch kernel on identical streams.  Sticky
+        state resets on fault-plane reconvergence (the closure is rebuilt).
+        """
+        draws = policy.route_draws(self.trace)
+        sticky = [0] * len(self.trace.od_pairs)
+
+        def step(choice, width, pair, call):
+            for link in choice.primary:
+                if occupancy[link] + width > capacities[link]:
+                    break
+            else:
+                return choice.primary, False
+            alts = choice.alternates
+            n_alts = len(alts)
+            if n_alts == 0:
+                return None, False
+            alt = alts[sticky[pair]]
+            for link in alt:
+                if occupancy[link] + width > thresholds[link]:
+                    sticky[pair] = int(draws[call] * n_alts)
+                    return None, False
+            return alt, True
+
+        return step
+
+    def _make_power_of_d_step(self, policy, capacities, thresholds, occupancy):
+        """Admission closure for power-of-d random alternate selection.
+
+        A primary-blocked call samples ``d`` alternates (with replacement)
+        from its positional draw row and takes the first one attaining the
+        best bottleneck score ``min(threshold - occupancy)``; it is admitted
+        iff that score covers the call's width.  Evaluating the score for
+        infeasible candidates too keeps the selection identical to the batch
+        kernel's argmax formulation.
+        """
+        draws = policy.route_draws(self.trace)
+
+        def step(choice, width, pair, call):
+            for link in choice.primary:
+                if occupancy[link] + width > capacities[link]:
+                    break
+            else:
+                return choice.primary, False
+            alts = choice.alternates
+            n_alts = len(alts)
+            if n_alts == 0:
+                return None, False
+            best_alt = None
+            best_score = None
+            for u in draws[call]:
+                alt = alts[int(u * n_alts)]
+                score = min(thresholds[link] - occupancy[link] for link in alt)
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_alt = alt
+            if best_score >= width:
+                return best_alt, True
+            return None, False
+
+        return step
+
     def _make_shadow_step(self, policy, capacities, occupancy):
         """Build the per-call admission closure for shadow-price policies.
 
@@ -786,7 +902,7 @@ class LossNetworkSimulator:
         tables = policy.price_tables
         revenue = getattr(policy, "revenue", 1.0) + _REVENUE_EPS
 
-        def step(choice, width):
+        def step(choice, width, pair, call):
             best_path = None
             best_price = revenue
             best_is_alternate = False
@@ -825,16 +941,22 @@ def simulate(
     reconvergence_delay: float = 0.0,
     rebuild_policy: Callable[[Network], RoutingPolicy] | None = None,
     timeline_bin: float | None = None,
-    reference: bool = False,
+    reference: bool | None = None,
+    backend: str | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: build and run a :class:`LossNetworkSimulator`.
 
     Every constructor knob is plumbed through, so link statistics, warm
     starts and the dynamic fault plane are all reachable without touching
-    the class directly.  ``reference=True`` forces the general loop even
-    when the fast loop's specialization applies (see
-    :meth:`LossNetworkSimulator.run`).
+    the class directly.  ``backend`` selects the engine (``"auto"`` /
+    ``"batch"`` / ``"fast"`` / ``"reference"``, see
+    :meth:`LossNetworkSimulator.run`); the legacy ``reference=True`` flag
+    still maps to ``backend="reference"`` through the
+    :func:`repro._compat.resolve_backend` deprecation shim.
     """
+    from .._compat import resolve_backend
+
+    resolved = resolve_backend(backend, reference, owner="simulate")
     return LossNetworkSimulator(
         network,
         policy,
@@ -846,4 +968,4 @@ def simulate(
         reconvergence_delay=reconvergence_delay,
         rebuild_policy=rebuild_policy,
         timeline_bin=timeline_bin,
-    ).run(reference=reference)
+    ).run(backend=resolved)

@@ -81,11 +81,11 @@ class TestRunScenario:
         assert via_api.network_blocking == manual.network_blocking
         assert via_api.total_offered == manual.total_offered
 
-    def test_reference_flag_reaches_simulator(self):
+    def test_reference_backend_reaches_simulator(self):
         scenario = _quick_scenario()
         fast = run_scenario(scenario, seed=1, duration=6.0, warmup=1.0)
         ref = run_scenario(
-            scenario, seed=1, duration=6.0, warmup=1.0, reference=True
+            scenario, seed=1, duration=6.0, warmup=1.0, backend="reference"
         )
         assert fast.network_blocking == ref.network_blocking
 

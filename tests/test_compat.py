@@ -1,9 +1,11 @@
-"""Tests for the positional-argument deprecation shims in ``repro._compat``.
+"""Tests for the deprecation shims in ``repro._compat``.
 
-The kw-only config dataclasses keep accepting positional construction (the
-pre-keyword-only calling convention) through :func:`positional_shim`; these
-tests pin down the shim's contract directly instead of relying on the
-incidental coverage the config-using tests provide.
+Two shims live there: :func:`positional_shim` keeps the kw-only config
+dataclasses accepting positional construction (the pre-keyword-only calling
+convention), and :func:`resolve_backend` keeps the legacy ``reference=``
+boolean working on the simulation entry points after the ``backend=``
+redesign.  These tests pin down both contracts directly instead of relying
+on the incidental coverage the callers provide.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ import warnings
 
 import pytest
 
+from repro._compat import resolve_backend
 from repro.experiments.runner import ReplicationConfig
 from repro.sim.signaling import SignalingConfig
 
@@ -79,3 +82,97 @@ class TestSignalingConfigShim:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", DeprecationWarning)
                 SignalingConfig(0.0, 0.5)
+
+
+class TestResolveBackend:
+    def test_plain_backend_passes_through(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for name in ("auto", "batch", "fast", "reference"):
+                assert resolve_backend(name, None) == name
+
+    def test_defaults_to_auto(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_backend(None, None) == "auto"
+
+    def test_reference_true_maps_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="backend"):
+            assert resolve_backend(None, True) == "reference"
+
+    def test_reference_false_maps_with_warning(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_backend(None, False) == "auto"
+
+    def test_conflicting_flags_raise(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                resolve_backend("fast", True)
+
+    def test_agreeing_flags_allowed(self):
+        with pytest.warns(DeprecationWarning):
+            assert resolve_backend("reference", True) == "reference"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("gpu", None)
+
+
+class TestBackendShim:
+    """The public entry points honour the legacy ``reference=`` flag."""
+
+    def _scenario(self):
+        from repro.api import Scenario
+
+        return Scenario(topology="quadrangle", traffic=2.0, policy="controlled")
+
+    def test_run_scenario_reference_flag_warns_and_matches(self):
+        from repro.api import run_scenario
+
+        scenario = self._scenario()
+        with pytest.warns(DeprecationWarning, match="run_scenario"):
+            legacy = run_scenario(scenario, seed=3, duration=8.0, warmup=1.0,
+                                  reference=True)
+        modern = run_scenario(scenario, seed=3, duration=8.0, warmup=1.0,
+                              backend="reference")
+        assert legacy.network_blocking == modern.network_blocking
+        assert (legacy.blocked == modern.blocked).all()
+
+    def test_simulate_reference_flag_warns(self):
+        from repro.sim.simulator import simulate
+        from repro.sim.trace import generate_trace
+
+        scenario = self._scenario()
+        trace = generate_trace(scenario.traffic_matrix, 8.0, 1)
+        policy = scenario.build_policy("controlled")
+        with pytest.warns(DeprecationWarning, match="simulate"):
+            legacy = simulate(scenario.network, policy, trace, warmup=1.0,
+                              reference=True)
+        modern = simulate(scenario.network, policy, trace, warmup=1.0,
+                          backend="reference")
+        assert legacy.network_blocking == modern.network_blocking
+
+    def test_simulate_conflict_raises(self):
+        from repro.sim.simulator import simulate
+        from repro.sim.trace import generate_trace
+
+        scenario = self._scenario()
+        trace = generate_trace(scenario.traffic_matrix, 4.0, 0)
+        policy = scenario.build_policy("controlled")
+        with pytest.raises(ValueError, match="conflicting"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                simulate(scenario.network, policy, trace, warmup=1.0,
+                         backend="fast", reference=True)
+
+    def test_simulate_unknown_backend_raises(self):
+        from repro.sim.simulator import simulate
+        from repro.sim.trace import generate_trace
+
+        scenario = self._scenario()
+        trace = generate_trace(scenario.traffic_matrix, 4.0, 0)
+        policy = scenario.build_policy("controlled")
+        with pytest.raises(ValueError, match="unknown backend"):
+            simulate(scenario.network, policy, trace, warmup=1.0,
+                     backend="warp")

@@ -1,7 +1,8 @@
 """Vectorized hot paths vs their retained reference implementations.
 
-The perf core keeps every original code path callable behind a
-``reference=True`` flag.  The simulator's fast loop makes the exact same
+The perf core keeps every original code path callable — the simulator via
+``backend="reference"``, the analysis kernels via their ``reference=True``
+flag.  The simulator's fast loop makes the exact same
 admission decisions in the exact same order, so its statistics must be
 bit-identical; the analysis kernels change only float accumulation order
 (the batch Erlang kernel sums the Horner recursion as one cumulative
@@ -120,7 +121,9 @@ class TestSimulatorEquivalence:
         trace = generate_trace(traffic, 40.0, seed)
         for name, policy in _policies(network, table, traffic).items():
             fast = simulate(network, policy, trace, warmup=10.0)
-            ref = simulate(network, policy, trace, warmup=10.0, reference=True)
+            ref = simulate(
+                network, policy, trace, warmup=10.0, backend="reference"
+            )
             for counter in _COUNTERS:
                 assert np.array_equal(
                     getattr(fast, counter), getattr(ref, counter)
@@ -140,7 +143,7 @@ class TestSimulatorEquivalence:
         )
         ref = simulate(
             network, policy, trace, warmup=5.0, initial_occupancy=occupancy,
-            reference=True,
+            backend="reference",
         )
         for counter in _COUNTERS:
             assert np.array_equal(getattr(fast, counter), getattr(ref, counter))
@@ -154,7 +157,8 @@ class TestSimulatorEquivalence:
         timeline = single_failure_timeline(2, 3, fail_at=15.0, repair_at=30.0)
         fast = simulate(network, policy, trace, warmup=10.0, faults=timeline)
         ref = simulate(
-            network, policy, trace, warmup=10.0, faults=timeline, reference=True
+            network, policy, trace, warmup=10.0, faults=timeline,
+            backend="reference",
         )
         for counter in _COUNTERS + ("dropped",):
             assert np.array_equal(getattr(fast, counter), getattr(ref, counter))
