@@ -624,7 +624,33 @@ def _serve_pieces(args: argparse.Namespace):
     return scenario.network, policy, scenario
 
 
-def _serve_engine(args: argparse.Namespace, network, policy):
+def _check_controller_flags(args: argparse.Namespace, prefix: str = "serve") -> None:
+    """The no-op and conflicting ``--controller`` combinations, refused.
+
+    A controller on a stationary workload can only re-derive the levels
+    the deployment already runs (Equation 15 from the provisioned
+    matrix), so the loop would burn cycles changing nothing; and the
+    adaptation loop and the control loop are two writers to the same
+    thresholds.  Both configurations die here with a one-line message
+    instead of misbehaving quietly.
+    """
+    if getattr(args, "controller", None) is None:
+        return
+    if getattr(args, "workload", None) is None:
+        raise SystemExit(
+            f"{prefix}: --controller on the stationary workload is a no-op "
+            "(the static Equation-15 thresholds are already provisioned for "
+            "this matrix); pick --workload diurnal, flash-crowd, "
+            "regional-surge or adversarial[:SEED], or drop --controller"
+        )
+    if getattr(args, "adapt_interval", None) is not None:
+        raise SystemExit(
+            f"{prefix}: --controller and --adapt-interval are two writers "
+            "to the same live thresholds; run one or the other"
+        )
+
+
+def _serve_engine(args: argparse.Namespace, network, policy, scenario):
     """Build the request engine the serve subcommands share."""
     from .serve import (
         AdaptationConfig,
@@ -635,6 +661,7 @@ def _serve_engine(args: argparse.Namespace, network, policy):
         RequestEngine,
     )
 
+    _check_controller_flags(args)
     overload = None
     if args.rate is not None or args.queue_limit is not None:
         overload = OverloadControl(OverloadConfig(
@@ -651,8 +678,20 @@ def _serve_engine(args: argparse.Namespace, network, policy):
         state = NetworkState(network, policy, adaptation=adaptation)
     except ValueError as exc:
         raise SystemExit(f"serve: {exc}")
+    control = None
+    if getattr(args, "controller", None) is not None:
+        from .control import make_control_loop
+
+        try:
+            control = make_control_loop(
+                state, scenario.path_table, scenario.traffic_matrix,
+                controller=args.controller,
+                interval=args.control_interval,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"serve: {exc}")
     engine = RequestEngine(
-        network, policy, state=state, overload=overload,
+        network, policy, state=state, overload=overload, control=control,
         batch=BatchConfig(max_batch=args.batch, max_latency=args.max_latency),
     )
     if getattr(args, "events", None):
@@ -669,7 +708,7 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     from .serve import ServeServer
 
     network, policy, scenario = _serve_pieces(args)
-    engine = _serve_engine(args, network, policy)
+    engine = _serve_engine(args, network, policy, scenario)
 
     async def serve() -> None:
         server = ServeServer(
@@ -725,7 +764,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     from .serve import ServeServer, replay_trace, replay_trace_socket
 
     network, policy, scenario = _serve_pieces(args)
-    engine = _serve_engine(args, network, policy)
+    engine = _serve_engine(args, network, policy, scenario)
     try:
         trace = scenario.make_trace(args.duration + args.warmup, args.seed)
     except ValueError as exc:
@@ -744,7 +783,11 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         )
     result = report.result
     verified = None
-    if engine.overload is None and engine.state.adaptation is None:
+    if (
+        engine.overload is None
+        and engine.state.adaptation is None
+        and engine.control is None
+    ):
         from .sim.simulator import simulate
 
         reference = simulate(network, policy, trace, warmup=args.warmup)
@@ -759,6 +802,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         engine.publish_metrics(phase="replay")
         bus.close()
     adaptive = engine.state.adaptation is not None
+    control = engine.control
     if args.json:
         print(json.dumps({
             "schema": "repro-serve-replay-v1",
@@ -776,6 +820,25 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             "last_refresh_delta": (
                 engine.state.last_refresh_delta if adaptive else None
             ),
+            # The policy version that made the tail of these decisions:
+            # regime-shift plots align on this, and the swap trail says
+            # exactly when each earlier epoch was in force.
+            "policy_epoch": engine.state.policy_epoch,
+            "controller": getattr(args, "controller", None),
+            "control": None if control is None else {
+                "steps": len(control.steps),
+                "swaps": sum(1 for s in control.steps if s.applied),
+                "clamp_violations": control.clamp.violations,
+                "decisions_sha256": control.decisions_sha256(),
+                "objective": (
+                    control.steps[-1].objective if control.steps else None
+                ),
+            },
+            "swap_events": [
+                {"time": swap.time, "epoch": swap.epoch,
+                 "max_delta": swap.max_delta}
+                for swap in engine.state.swaps
+            ],
             "simulator_equivalent": verified,
         }, indent=2, sort_keys=True))
         return 0 if verified in (None, True) else 4
@@ -793,6 +856,14 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             f"threshold recomputes {engine.state.recompute_count}, "
             f"last max |delta r| {engine.state.last_refresh_delta:g}"
         )
+    if control is not None:
+        swaps = sum(1 for s in control.steps if s.applied)
+        print(
+            f"controller {args.controller}: {len(control.steps)} steps, "
+            f"{swaps} swaps, policy epoch {engine.state.policy_epoch}, "
+            f"{control.clamp.violations} clamp violations"
+        )
+        print(f"control decisions sha256 {control.decisions_sha256()}")
     if verified is not None:
         print(
             "simulator equivalence: "
@@ -801,7 +872,10 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         if not verified:
             return 4
     else:
-        print("simulator equivalence: skipped (overload/adaptation active)")
+        print(
+            "simulator equivalence: skipped "
+            "(overload/adaptation/controller active)"
+        )
     return 0
 
 
@@ -925,6 +999,112 @@ def _cmd_serve_cluster(args: argparse.Namespace) -> int:
         print("engine equivalence: skipped (pipelined mode reorders batches)")
     if verified is False or not clean:
         return 4
+    return 0
+
+
+def _cmd_control_replay(args: argparse.Namespace) -> int:
+    """One closed-loop replay, with the controller's step trajectory."""
+    from .control import make_control_loop
+    from .serve.engine import RequestEngine
+    from .serve.loadgen import aggregate_decisions, trace_requests
+    from .serve.state import NetworkState
+
+    _check_controller_flags(args, prefix="control")
+    network, policy, scenario = _serve_pieces(args)
+    try:
+        trace = scenario.make_trace(args.duration + args.warmup, args.seed)
+        state = NetworkState(network, policy)
+        loop = make_control_loop(
+            state, scenario.path_table, scenario.traffic_matrix,
+            controller=args.controller, interval=args.control_interval,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"control: {exc}")
+    if args.pin_epoch is not None:
+        loop.pin(args.pin_epoch)
+    engine = RequestEngine(network, policy, state=state, control=loop)
+    decisions = engine.decide_batch(trace_requests(trace))
+    result = aggregate_decisions(trace, decisions, args.warmup)
+
+    if args.json:
+        print(json.dumps({
+            "schema": "repro-control-replay-v1",
+            "workload": args.workload,
+            "controller": args.controller,
+            "interval": args.control_interval,
+            "pinned_epoch": loop.pinned_epoch,
+            "calls": len(trace.times),
+            "network_blocking": result.network_blocking,
+            "alternate_fraction": result.alternate_fraction,
+            "policy_epoch": state.policy_epoch,
+            "clamp_violations": loop.clamp.violations,
+            "decisions_sha256": loop.decisions_sha256(),
+            "trajectory": loop.trajectory(),
+        }, indent=2, sort_keys=True))
+        return 0
+    from .experiments.report import format_table
+
+    print(
+        f"controller {args.controller} on {args.workload}: "
+        f"{len(loop.steps)} steps, policy epoch {state.policy_epoch}, "
+        f"blocking {result.network_blocking:.4f}"
+    )
+    rows = [
+        [f"{s.time:.1f}", s.epoch, "yes" if s.applied else "pinned",
+         f"{s.objective:.4f}", f"{s.max_delta:g}", s.clamp_lifted,
+         f"{s.confidence:.2f}", f"{s.volatility:.2f}"]
+        for s in loop.steps
+    ]
+    print(format_table(
+        ["time", "epoch", "applied", "objective", "max |dr|",
+         "clamp lifted", "confidence", "volatility"],
+        rows,
+    ))
+    print(
+        f"clamp violations {loop.clamp.violations}, "
+        f"decisions sha256 {loop.decisions_sha256()}"
+    )
+    return 0
+
+
+def _cmd_control_study(args: argparse.Namespace) -> int:
+    """EXP-CTL at chosen fidelity (the benchmark runs this committed)."""
+    from .experiments.control import control_loop_study
+
+    config = _config(args)
+    try:
+        study = control_loop_study(
+            config=config, controller=args.controller,
+            interval=args.control_interval,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"control: {exc}")
+    if args.json:
+        print(json.dumps(
+            {"schema": "repro-control-study-v1", "study": study},
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    from .experiments.report import format_table
+
+    rows = [
+        [spec, f"{doc['static_blocking']['mean']:.4f}",
+         f"{doc['ewma_blocking']['mean']:.4f}",
+         f"{doc['online_blocking']['mean']:.4f}",
+         f"{doc['hindsight_blocking']['mean']:.4f}",
+         "-" if doc["gap_closed"] is None else f"{doc['gap_closed']:.0%}",
+         doc["clamp_violations"]]
+        for spec, doc in study["workloads"].items()
+    ]
+    print(format_table(
+        ["workload", "static B", "ewma B", "online B", "hindsight B",
+         "gap closed", "clamp viol"],
+        rows,
+    ))
+    print(
+        f"stationary reference {study['stationary_blocking']['mean']:.4f} "
+        f"network blocking"
+    )
     return 0
 
 
@@ -1194,6 +1374,69 @@ def build_parser() -> argparse.ArgumentParser:
                               " (default stationary)")
         cmd.add_argument("--events", default=None,
                          help="JSONL telemetry path (serve_metrics events)")
+    for cmd in (serve_run, serve_replay):
+        cmd.add_argument("--controller", choices=("gradient", "markov"),
+                         default=None,
+                         help="close the online protection-level control "
+                              "loop (repro.control); needs a non-stationary "
+                              "--workload")
+        cmd.add_argument("--control-interval", type=float, default=5.0,
+                         help="controller re-optimization window in trace "
+                              "time units")
+
+    control = sub.add_parser(
+        "control",
+        help="online protection-level optimizer (repro.control)",
+    )
+    control_sub = control.add_subparsers(dest="control_command", required=True)
+
+    control_replay = control_sub.add_parser(
+        "replay",
+        help="closed-loop trace replay with the controller's step trajectory",
+    )
+    control_replay.add_argument("--duration", type=float, default=60.0,
+                                help="measured trace time units")
+    control_replay.add_argument("--warmup", type=float, default=10.0)
+    control_replay.add_argument("--seed", type=int, default=0)
+    control_replay.add_argument("--pin-epoch", type=int, default=None,
+                                help="freeze swaps at this policy epoch "
+                                     "(rollback drill: proposals are "
+                                     "recorded but not applied)")
+    control_replay.add_argument("--topology", default="nsfnet",
+                                help="nsfnet or quadrangle (default nsfnet)")
+    control_replay.add_argument("--traffic", default="nominal",
+                                help="'nominal' or a per-pair Erlang value")
+    control_replay.add_argument("--policy", default="length-adaptive",
+                                help="threshold-family policy to control "
+                                     "(default length-adaptive)")
+    control_replay.add_argument("--load-scale", type=float, default=1.1)
+    control_replay.add_argument("--hops", type=int, default=6,
+                                help="alternate hop cap H")
+    control_replay.add_argument("--workload", default=None,
+                                help="time-varying workload spec: diurnal, "
+                                     "flash-crowd, regional-surge, "
+                                     "adversarial[:SEED] (required: the "
+                                     "controller is a no-op on stationary)")
+    control_replay.add_argument("--json", action="store_true",
+                                help="emit machine-readable JSON")
+    control_replay.set_defaults(func=_cmd_control_replay)
+
+    control_study = control_sub.add_parser(
+        "study",
+        help="EXP-CTL: static vs EWMA vs online control across workloads",
+    )
+    control_study.add_argument("--seeds", type=int, default=10)
+    control_study.add_argument("--duration", type=float, default=100.0)
+    control_study.add_argument("--json", action="store_true",
+                               help="emit machine-readable JSON")
+    control_study.set_defaults(func=_cmd_control_study)
+
+    for cmd in (control_replay, control_study):
+        cmd.add_argument("--controller", choices=("gradient", "markov"),
+                         default="gradient")
+        cmd.add_argument("--control-interval", type=float, default=5.0,
+                         help="controller re-optimization window in trace "
+                              "time units")
     return parser
 
 

@@ -1,0 +1,47 @@
+"""Online protection-level optimization: the serve → re-optimize loop.
+
+``repro.control`` closes the loop the paper leaves open: protection
+levels ``r^k`` are computed *offline* from a demand matrix the links
+know a priori, but PR 7's EXP-ADV showed that guarantee fraying badly
+under time-varying and adversarial load.  This package re-optimizes the
+levels online from the telemetry the serving plane already emits:
+
+* :class:`~repro.control.estimator.DemandEstimator` — live ``Λ̂``
+  estimate with confidence/staleness/volatility tracking, robust to
+  adversarial rotation by shrinking toward the provisioned matrix;
+* :class:`~repro.control.controllers.ErlangGradientController` —
+  trust-region descent on the vectorized Erlang objective toward the
+  Equation-15 floors (Section 3.2's per-hop-length family);
+* :class:`~repro.control.controllers.MarkovApproximationController` —
+  log-sum-exp Gibbs sampling over alternate-path sets, per Huang et al.;
+* :class:`~repro.control.controllers.SafetyClamp` — projection onto the
+  Theorem-1 floor so no strategy can re-open the metastable bad mode;
+* :class:`~repro.control.loop.ControlLoop` — the interval-driven loop
+  applying clamped proposals atomically via ``NetworkState.hot_swap``
+  (and, through the cluster router, to every shard), with full
+  telemetry and epoch pinning for rollback.
+"""
+
+from .controllers import (
+    Controller,
+    ControlProposal,
+    ErlangGradientController,
+    MarkovApproximationController,
+    SafetyClamp,
+)
+from .estimator import DemandEstimate, DemandEstimator
+from .factory import make_control_loop
+from .loop import ControlLoop, ControlStep
+
+__all__ = [
+    "ControlLoop",
+    "ControlProposal",
+    "ControlStep",
+    "Controller",
+    "DemandEstimate",
+    "DemandEstimator",
+    "ErlangGradientController",
+    "MarkovApproximationController",
+    "SafetyClamp",
+    "make_control_loop",
+]

@@ -1,0 +1,303 @@
+"""Pluggable protection-level controllers and the Theorem-1 safety clamp.
+
+Each controller turns the live demand estimate of
+:class:`repro.control.estimator.DemandEstimator` into a
+:class:`ControlProposal`: a full per-link protection-level assignment —
+either one scalar level per link (the paper's global-``H`` scheme) or a
+vector of levels keyed by alternate hop length (the Section-3.2
+length-adaptive refinement) — plus optionally a truncation of each
+pair's alternate-path set.
+
+Whatever a controller proposes, :class:`SafetyClamp` projects it back
+onto the paper's feasible region before it is applied: every level must
+satisfy the Theorem-1 displacement inequality
+``B(Λ̂^k, C^k) / B(Λ̂^k, C^k − r^k) ≤ 1/H`` at the *current estimate*,
+so the loop can never re-open the metastable unprotected mode no matter
+how aggressive (or buggy) the strategy is.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.erlang import erlang_b_many
+from ..core.protection import displacement_bound, min_protection_levels
+from ..topology.graph import Network
+
+__all__ = [
+    "ControlProposal",
+    "Controller",
+    "ErlangGradientController",
+    "MarkovApproximationController",
+    "SafetyClamp",
+]
+
+
+@dataclass(frozen=True)
+class ControlProposal:
+    """One controller output, before clamping.
+
+    ``levels`` maps alternate hop length ``h`` to the per-link protection
+    array proposed for ``h``-hop alternates; scalar-threshold strategies
+    emit a single entry keyed by their design ``H``.  ``alt_prefix``
+    optionally truncates each pair's alternate list to its first ``m``
+    entries (``None`` = leave route sets untouched).  ``objective`` is
+    the strategy's own figure of merit at the proposal (lower = better);
+    ``info`` carries strategy-specific diagnostics.
+    """
+
+    time: float
+    levels: dict[int, np.ndarray]
+    alt_prefix: dict[tuple[int, int], int] | None = None
+    objective: float = 0.0
+    info: dict = field(default_factory=dict)
+
+
+class Controller(ABC):
+    """Strategy interface: estimate in, proposal out."""
+
+    name: str = "controller"
+
+    @abstractmethod
+    def propose(self, now: float, estimate) -> ControlProposal:
+        """Propose protection levels for the current demand estimate."""
+
+
+class ErlangGradientController(Controller):
+    """Trust-region descent on the vectorized Erlang objective.
+
+    The measurement-driven objective at estimate ``Λ̂`` is
+
+    ``J(r) = mean_l B(Λ̂_l, C_l) + mean_{l,h} max(0, r_l(h) − r*_l(h)) / C_l``
+
+    where ``r*_l(h) = min r : B(Λ̂_l,C_l)/B(Λ̂_l,C_l−r) ≤ 1/h`` is the
+    Equation-15 floor.  The first term is the irreducible per-link Erlang
+    blocking of the estimated demand (reported so operators see the
+    demand pressure the controller is reacting to); the second is the
+    *protection excess* — circuits withheld from alternate traffic beyond
+    what Theorem 1 requires.  The unique minimizer over the feasible
+    region is the floor itself, so each step moves every level toward
+    ``r*`` by at most ``trust_radius`` circuits: bounded, monotone,
+    reversible steps a production operator can watch and veto.
+    """
+
+    name = "erlang-gradient"
+
+    def __init__(
+        self,
+        network: Network,
+        hop_lengths: tuple[int, ...],
+        initial_levels: dict[int, np.ndarray],
+        *,
+        trust_radius: int = 4,
+    ):
+        if trust_radius < 1:
+            raise ValueError("trust_radius must be >= 1")
+        if not hop_lengths:
+            raise ValueError("hop_lengths must be non-empty")
+        self.network = network
+        self.capacities = network.capacities().astype(np.int64)
+        self.hop_lengths = tuple(sorted(int(h) for h in hop_lengths))
+        self.trust_radius = int(trust_radius)
+        self.levels = {
+            int(h): np.asarray(initial_levels[h], dtype=np.int64).copy()
+            for h in self.hop_lengths
+        }
+
+    def propose(self, now: float, estimate) -> ControlProposal:
+        loads = np.asarray(estimate.link_loads, dtype=float)
+        caps = self.capacities
+        pressure = float(np.mean(erlang_b_many(loads, caps)))
+        proposed: dict[int, np.ndarray] = {}
+        excess = 0.0
+        moved = 0
+        for h in self.hop_lengths:
+            floor = min_protection_levels(loads, caps, h)
+            current = self.levels[h]
+            step = np.clip(floor - current, -self.trust_radius, self.trust_radius)
+            nxt = current + step
+            moved += int(np.abs(step).sum())
+            proposed[h] = nxt
+            excess += float(
+                (np.maximum(0, nxt - floor) / np.maximum(caps, 1)).mean()
+            )
+        self.levels = {h: arr.copy() for h, arr in proposed.items()}
+        objective = pressure + excess / len(self.hop_lengths)
+        return ControlProposal(
+            time=now,
+            levels=proposed,
+            objective=objective,
+            info={
+                "strategy": self.name,
+                "erlang_pressure": pressure,
+                "protection_excess": excess / len(self.hop_lengths),
+                "circuits_moved": moved,
+                "confidence": float(estimate.confidence),
+                "volatility": float(estimate.volatility),
+            },
+        )
+
+
+class MarkovApproximationController(Controller):
+    """Log-sum-exp sampling over alternate-path sets, per Huang et al.
+
+    Each pair's configuration is the prefix length ``m`` of its alternate
+    list.  The utility of serving pair ``od`` with prefix ``m`` combines
+    the estimated rescue value of each kept alternate (its blocked-rate
+    pressure times the product of per-link survival probabilities at
+    ``Λ̂``) against a per-circuit resource price; configurations are then
+    sampled from the Gibbs distribution ``p(m) ∝ exp(β·U(m))`` with a
+    seeded generator, which is the Markov-approximation recipe: the chain
+    concentrates on near-optimal path sets as ``β`` grows while the
+    log-sum-exp smoothing keeps it exploring under measurement noise.
+
+    Protection levels are left at the Theorem-1 floor for the current
+    estimate — this strategy optimizes the *route sets*, and the clamp
+    guarantees the floors regardless.
+    """
+
+    name = "markov-approximation"
+
+    def __init__(
+        self,
+        network: Network,
+        hop_lengths: tuple[int, ...],
+        alternates: dict[tuple[int, int], tuple[tuple[int, ...], ...]],
+        *,
+        beta: float = 4.0,
+        resource_price: float = 0.02,
+        seed: int = 0,
+    ):
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        if resource_price < 0:
+            raise ValueError("resource_price must be non-negative")
+        self.network = network
+        self.capacities = network.capacities().astype(np.int64)
+        self.hop_lengths = tuple(sorted(int(h) for h in hop_lengths))
+        self.alternates = {od: tuple(alts) for od, alts in alternates.items()}
+        self.beta = float(beta)
+        self.resource_price = float(resource_price)
+        self._rng = np.random.default_rng(seed)
+        self.prefixes = {od: len(alts) for od, alts in self.alternates.items()}
+
+    def _utilities(self, od, loads) -> np.ndarray:
+        alts = self.alternates[od]
+        survival = 1.0 - erlang_b_many(loads, self.capacities)
+        utilities = np.zeros(len(alts) + 1)
+        gain = 0.0
+        for m, path in enumerate(alts, start=1):
+            rescue = float(np.prod(survival[list(path)]))
+            gain += rescue - self.resource_price * len(path)
+            utilities[m] = gain
+        return utilities
+
+    def propose(self, now: float, estimate) -> ControlProposal:
+        loads = np.asarray(estimate.link_loads, dtype=float)
+        caps = self.capacities
+        blocked = estimate.blocked_rates
+        prefixes: dict[tuple[int, int], int] = {}
+        for od in sorted(self.alternates):
+            utilities = self._utilities(od, loads)
+            # Pairs under blocking pressure value their alternates more.
+            utilities = utilities * (1.0 + blocked.get(od, 0.0))
+            scores = self.beta * utilities
+            scores -= scores.max()
+            weights = np.exp(scores)
+            weights /= weights.sum()
+            prefixes[od] = int(self._rng.choice(len(weights), p=weights))
+        self.prefixes = prefixes
+        levels = {
+            h: min_protection_levels(loads, caps, h) for h in self.hop_lengths
+        }
+        kept = sum(prefixes.values())
+        total = sum(len(a) for a in self.alternates.values())
+        objective = float(np.mean(erlang_b_many(loads, caps)))
+        return ControlProposal(
+            time=now,
+            levels=levels,
+            alt_prefix=prefixes,
+            objective=objective,
+            info={
+                "strategy": self.name,
+                "alternates_kept": kept,
+                "alternates_total": total,
+                "beta": self.beta,
+            },
+        )
+
+
+class SafetyClamp:
+    """Project proposals onto the Theorem-1 protection-level floor.
+
+    For every link and every hop length a proposal covers, the applied
+    level is lifted to the Equation-15 floor at the *current* demand
+    estimate: ``r ≥ min r : B(Λ̂,C)/B(Λ̂,C−r) ≤ 1/h``.  Projection never
+    lowers a level, so any strategy — however exploratory — leaves the
+    displacement guarantee intact and the metastable mode closed.
+    """
+
+    def __init__(self, network: Network):
+        self.capacities = network.capacities().astype(np.int64)
+        self.violations = 0
+        self.max_deficit = 0
+        self.projections = 0
+
+    def project(
+        self, proposal: ControlProposal, link_loads: np.ndarray
+    ) -> tuple[ControlProposal, int]:
+        """Clamp ``proposal`` to the floors at ``link_loads``.
+
+        Returns the (possibly identical) safe proposal and the number of
+        link-level entries the clamp had to lift.  A feasible proposal
+        passes through structurally unchanged.
+        """
+        loads = np.asarray(link_loads, dtype=float)
+        caps = self.capacities
+        lifted = 0
+        deficit = 0
+        clamped: dict[int, np.ndarray] = {}
+        for h, levels in proposal.levels.items():
+            floor = min_protection_levels(loads, caps, h)
+            arr = np.asarray(levels, dtype=np.int64)
+            below = arr < floor
+            lifted += int(below.sum())
+            if below.any():
+                deficit = max(deficit, int((floor - arr)[below].max()))
+            clamped[h] = np.where(below, floor, arr)
+        self.projections += 1
+        if lifted:
+            self.violations += lifted
+            self.max_deficit = max(self.max_deficit, deficit)
+        safe = ControlProposal(
+            time=proposal.time,
+            levels=clamped,
+            alt_prefix=proposal.alt_prefix,
+            objective=proposal.objective,
+            info={**proposal.info, "clamp_lifted": lifted},
+        )
+        return safe, lifted
+
+    def verify(
+        self, levels: dict[int, np.ndarray], link_loads: np.ndarray
+    ) -> bool:
+        """True iff every level satisfies the displacement inequality.
+
+        Links protected at full capacity (``r = C``, threshold 0) pass
+        vacuously: they admit no alternate traffic at all, which is
+        Table 1's convention for overloaded links where no ``r ≤ C``
+        meets the Equation-15 test.
+        """
+        loads = np.asarray(link_loads, dtype=float)
+        for h, arr in levels.items():
+            for link, level in enumerate(np.asarray(arr, dtype=np.int64)):
+                capacity = int(self.capacities[link])
+                if level >= capacity:
+                    continue
+                bound = displacement_bound(loads[link], capacity, int(level))
+                if bound > 1.0 / h + 1e-12:
+                    return False
+        return True

@@ -1,0 +1,305 @@
+"""EXP-CTL: the closed serve → estimate → re-optimize → hot-swap loop.
+
+EXP-ADV measured the problem: under time-varying and adversarial demand,
+static Equation-15 thresholds bleed blocking versus the stationary bound,
+and the naive per-window EWMA recompute *loses* to the static deployment
+— the adversary rotates its targets, so thresholds fit to the last window
+are maximally wrong for the next one.  This study measures the fix built
+in :mod:`repro.control`: per workload it compares four arms on common
+random numbers —
+
+* **static** — the paper's offline ``r^k`` (Equation 15 from the nominal
+  matrix), frozen; evaluated through the batch kernel;
+* **ewma** — the EXP-ADV recompute loop
+  (:class:`~repro.routing.adaptive.AdaptiveProtectionSimulator`).  Its
+  threshold trajectory is piecewise-constant, so each run's schedule is
+  re-evaluated through the batch kernel's ``threshold_schedule`` support
+  and asserted bit-identical to the scalar loop — the study itself
+  guards the kernel;
+* **online** — the :class:`repro.control.loop.ControlLoop` closed over a
+  live :class:`~repro.serve.engine.RequestEngine`: a volatility-gated
+  shrinkage estimator anchored to the provisioned matrix feeding
+  per-hop-length Equation-15 floors (Section 3.2's
+  ``length-threshold`` family), every proposal projected through the
+  Theorem-1 :class:`~repro.control.controllers.SafetyClamp`;
+* **hindsight** — the offline-optimal-in-hindsight reference: Section
+  3.2 levels computed from the *time-averaged* demand the workload
+  actually offered, frozen.  No causal controller can use it; it lower
+  bounds what re-optimization could reach.
+
+The headline number is ``gap_closed``: EXP-ADV reported the adversarial
+workload blocking ~1.65x the stationary control under the same mean
+load; ``gap_closed`` is the fraction of that static-to-stationary gap
+the online controller recovers, per workload.  The acceptance bar is the
+adversarial row — online must strictly beat static while the clamp
+records zero Theorem-1 violations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..routing.adaptive import AdaptiveProtectionSimulator
+from ..routing.alternate import ControlledAlternateRouting, LengthAdaptiveControlledRouting
+from ..sim.batch import simulate_batch
+from ..sim.metrics import aggregate
+from ..traffic.demand import primary_link_loads
+from ..traffic.matrix import TrafficMatrix
+from .runner import PAPER_CONFIG, ReplicationConfig
+
+__all__ = [
+    "STUDY_WORKLOADS",
+    "control_loop_study",
+    "hindsight_matrix",
+]
+
+#: The nonstationary workloads the controller must survive; the
+#: stationary control is omitted deliberately — EXP-ADV already shows
+#: every arm collapsing to the same number there, and the CLI refuses a
+#: controller on a stationary workload as a no-op (see ``repro serve``).
+STUDY_WORKLOADS = ("diurnal", "flash-crowd", "adversarial:0")
+
+_UPDATE_INTERVAL = 5.0
+_EWMA_WEIGHT = 0.3
+
+
+def _study_scenario(spec: str | None, max_hops: int, load_scale: float):
+    from ..api import Scenario
+
+    return Scenario(
+        topology="nsfnet",
+        traffic="nominal",
+        policy="controlled",
+        max_hops=max_hops,
+        load_scale=load_scale,
+        workload=spec,
+    )
+
+
+def hindsight_matrix(
+    traffic: TrafficMatrix, workload, duration: float
+) -> TrafficMatrix:
+    """The demand matrix actually offered, averaged over ``[0, duration)``.
+
+    Piecewise-constant profiles integrate exactly; the result is what an
+    oracle provisioner would have fed Equation 15 had it known the whole
+    run in advance.
+    """
+    if workload is None:
+        return traffic
+    array = traffic.as_array().copy()
+    for od, demand in traffic.positive_pairs():
+        profile = workload.profile_for(od)
+        edges = [0.0] + [b for b in profile.breakpoints if 0.0 < b < duration]
+        edges.append(duration)
+        mean = sum(
+            profile.scale_at(t0) * (t1 - t0)
+            for t0, t1 in zip(edges, edges[1:])
+        ) / duration
+        array[od[0], od[1]] = demand * mean
+    return TrafficMatrix(array)
+
+
+def _online_run(network, table, traffic, policy, trace, warmup, controller, interval):
+    """One closed-loop engine replay; returns its result and the loop."""
+    from ..control import make_control_loop
+    from ..serve.engine import RequestEngine
+    from ..serve.loadgen import aggregate_decisions, trace_requests
+    from ..serve.state import NetworkState
+
+    state = NetworkState(network, policy)
+    loop = make_control_loop(
+        state, table, traffic, controller=controller, interval=interval
+    )
+    engine = RequestEngine(network, policy, state=state, control=loop)
+    decisions = engine.decide_batch(trace_requests(trace))
+    result = aggregate_decisions(trace, decisions, warmup)
+    return result, loop, state
+
+
+def control_loop_study(
+    config: ReplicationConfig = PAPER_CONFIG,
+    workloads: tuple[str, ...] = STUDY_WORKLOADS,
+    max_hops: int = 6,
+    load_scale: float = 1.1,
+    controller: str = "gradient",
+    interval: float = _UPDATE_INTERVAL,
+) -> dict:
+    """Run the full EXP-CTL comparison; returns a JSON-ready document."""
+    from ..serve.loadgen import measure_regime_shift
+
+    reference = _study_scenario(None, max_hops, load_scale)
+    network = reference.network
+    table = reference.path_table
+    traffic = reference.traffic_matrix
+    capacities = network.capacities().astype(np.int64)
+    nominal_loads = primary_link_loads(network, table, traffic)
+    static_policy = reference.build_policy("controlled")
+    online_policy = LengthAdaptiveControlledRouting(network, table, nominal_loads)
+    # The EWMA arm replays AdaptiveProtectionSimulator's exact policy
+    # structure (no splits) so its threshold schedule can be re-evaluated
+    # bit-for-bit through the batch kernel.
+    ewma_policy = ControlledAlternateRouting(network, table, nominal_loads)
+
+    # The stationary control: what the static deployment blocks when the
+    # demand actually is the matrix it was provisioned for.  The per-
+    # workload ``gap_closed`` is measured against this floor — it is the
+    # "1.65x gap" EXP-ADV reported for the adversarial workload.
+    stationary_traces = [
+        reference.make_trace(config.duration, seed) for seed in config.seeds
+    ]
+    stationary_stat = aggregate([
+        r.network_blocking
+        for r in simulate_batch(
+            network, static_policy, stationary_traces, config.warmup
+        )
+    ])
+
+    results: dict[str, dict] = {}
+    for spec in workloads:
+        scenario = _study_scenario(spec, max_hops, load_scale)
+        workload = scenario.resolved_workload(config.duration)
+        traces = [
+            scenario.make_trace(config.duration, seed) for seed in config.seeds
+        ]
+
+        static_runs = simulate_batch(network, static_policy, traces, config.warmup)
+        static_blocking = [r.network_blocking for r in static_runs]
+
+        averaged = hindsight_matrix(traffic, workload, config.duration)
+        hindsight_policy = LengthAdaptiveControlledRouting(
+            network, table, primary_link_loads(network, table, averaged)
+        )
+        hindsight_runs = simulate_batch(
+            network, hindsight_policy, traces, config.warmup
+        )
+        hindsight_blocking = [r.network_blocking for r in hindsight_runs]
+
+        ewma_blocking = []
+        ewma_updates = []
+        batch_matches_loop = True
+        for trace in traces:
+            adaptive = AdaptiveProtectionSimulator(
+                network, table, trace,
+                warmup=config.warmup,
+                update_interval=interval,
+                ewma_weight=_EWMA_WEIGHT,
+                max_hops=max_hops,
+                initial_loads=nominal_loads,
+            )
+            scalar = adaptive.run()
+            ewma_blocking.append(scalar.network_blocking)
+            ewma_updates.append(len(adaptive.updates) - 1)
+            # The adaptive loop *is* a piecewise-constant threshold
+            # trajectory; its batch replay must agree bit for bit.
+            schedule = [
+                (u.time, (capacities - u.protection_levels).astype(np.int64))
+                for u in adaptive.updates[1:]
+            ]
+            (replay,) = simulate_batch(
+                network, ewma_policy, [trace], config.warmup,
+                threshold_schedule=schedule,
+            )
+            batch_matches_loop = batch_matches_loop and bool(
+                np.array_equal(replay.blocked, scalar.blocked)
+                and replay.alternate_carried == scalar.alternate_carried
+            )
+
+        online_blocking = []
+        online_steps = []
+        clamp_violations = 0
+        clamp_lifted = 0
+        swap_seconds = []
+        digests = []
+        for trace in traces:
+            result, loop, state = _online_run(
+                network, table, traffic, online_policy, trace,
+                config.warmup, controller, interval,
+            )
+            online_blocking.append(result.network_blocking)
+            online_steps.append(len(loop.steps))
+            clamp_violations += loop.clamp.violations
+            clamp_lifted += sum(s.clamp_lifted for s in loop.steps)
+            swap_seconds.extend(
+                s.swap_seconds for s in loop.steps if s.applied
+            )
+            digests.append(loop.decisions_sha256())
+
+        # Serve-plane observability for the representative seed: swap
+        # events, epoch trajectory, and how long after the shift the
+        # controller kept moving the thresholds.
+        shift = workload.shift_time if workload is not None else None
+        from ..control import make_control_loop
+        from ..serve.state import NetworkState
+
+        serve_state = NetworkState(network, online_policy)
+        serve_loop = make_control_loop(
+            serve_state, table, traffic, controller=controller,
+            interval=interval,
+        )
+        serve_report = measure_regime_shift(
+            network, online_policy, traces[0],
+            shift_time=0.0 if shift is None else shift,
+            warmup=config.warmup,
+            control=serve_loop,
+        )
+
+        static_stat = aggregate(static_blocking)
+        ewma_stat = aggregate(ewma_blocking)
+        online_stat = aggregate(online_blocking)
+        hindsight_stat = aggregate(hindsight_blocking)
+        gap = static_stat.mean - stationary_stat.mean
+        gap_closed = (
+            None if gap <= 0
+            else (static_stat.mean - online_stat.mean) / gap
+        )
+        results[spec] = {
+            "workload": spec,
+            "shift_time": shift,
+            "static_blocking": {
+                "mean": static_stat.mean, "half_width": static_stat.half_width,
+            },
+            "ewma_blocking": {
+                "mean": ewma_stat.mean, "half_width": ewma_stat.half_width,
+            },
+            "online_blocking": {
+                "mean": online_stat.mean, "half_width": online_stat.half_width,
+            },
+            "hindsight_blocking": {
+                "mean": hindsight_stat.mean,
+                "half_width": hindsight_stat.half_width,
+            },
+            "gap_closed": gap_closed,
+            "ewma_updates_per_run": float(np.mean(ewma_updates)),
+            "ewma_batch_matches_loop": batch_matches_loop,
+            "control_steps_per_run": float(np.mean(online_steps)),
+            "clamp_violations": int(clamp_violations),
+            "clamp_lifted": int(clamp_lifted),
+            "mean_swap_seconds": (
+                float(np.mean(swap_seconds)) if swap_seconds else 0.0
+            ),
+            "decisions_sha256": digests[0],
+            "serve": {
+                "policy_epoch": serve_report["policy_epoch"],
+                "swap_events": len(serve_report["swap_events"]),
+                "time_to_reconverge": serve_report["time_to_reconverge"],
+                "network_blocking": serve_report["network_blocking"],
+            },
+        }
+    return {
+        "topology": "nsfnet",
+        "traffic": "nominal",
+        "policy": "length-adaptive",
+        "controller": controller,
+        "interval": interval,
+        "max_hops": max_hops,
+        "load_scale": load_scale,
+        "seeds": list(config.seeds),
+        "measured_duration": config.measured_duration,
+        "warmup": config.warmup,
+        "stationary_blocking": {
+            "mean": stationary_stat.mean,
+            "half_width": stationary_stat.half_width,
+        },
+        "workloads": results,
+    }

@@ -395,6 +395,37 @@ def _adversarial(config: ReplicationConfig) -> str:
     )
 
 
+def _control_data(config: ReplicationConfig) -> dict:
+    from .control import control_loop_study
+
+    return control_loop_study(config)
+
+
+def _control(config: ReplicationConfig) -> str:
+    document = _control_data(config)
+    rows = [
+        [
+            name,
+            entry["static_blocking"]["mean"],
+            entry["ewma_blocking"]["mean"],
+            entry["online_blocking"]["mean"],
+            entry["hindsight_blocking"]["mean"],
+            "-" if entry["gap_closed"] is None
+            else f"{entry['gap_closed']:.0%}",
+            entry["clamp_violations"],
+        ]
+        for name, entry in document["workloads"].items()
+    ]
+    return (
+        "EXP-CTL: online protection-level control, NSFNet load 11\n"
+        + format_table(
+            ["workload", "static B", "ewma B", "online B", "hindsight B",
+             "gap closed", "clamp viol"],
+            rows,
+        )
+    )
+
+
 def _adv_jobs() -> list:
     from .adversarial import adversarial_load_scenarios
 
@@ -453,12 +484,16 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("EXP-ADV", "adversarial & time-varying workloads vs the bound",
                    "bench_adversarial_load.py", _adversarial, _adversarial_data,
                    _adv_jobs),
+        Experiment("EXP-CTL", "online protection-level control loop",
+                   "bench_control_loop.py", _control, _control_data),
     )
 }
 
 #: Alternate spellings accepted by the CLI (``experiment adversarial-load``).
 ALIASES: dict[str, str] = {
     "ADVERSARIAL-LOAD": "EXP-ADV",
+    "CONTROL": "EXP-CTL",
+    "CONTROL-LOOP": "EXP-CTL",
 }
 
 

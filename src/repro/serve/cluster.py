@@ -68,7 +68,7 @@ from ..topology.graph import Network
 from .chaos import ChaosConfig, MessageChaos
 from .engine import AdmitRequest, Decision, ReleaseRequest, compile_routes
 from .shard import PRIMARY_KIND
-from .state import NetworkState, partition_links
+from .state import NetworkState, PolicySwap, partition_links
 from .supervisor import ShardSupervisor
 from .telemetry import MetricsRegistry
 
@@ -320,6 +320,13 @@ class ClusterRouter:
         self._loop: asyncio.AbstractEventLoop | None = None
         self._started = False
         self.decisions_total = 0
+        #: Policy version across the fleet: bumped by every hot_swap and
+        #: stamped into each shard (and its respawn spec), so restarted
+        #: workers come back with the bounds in force, not the boot ones.
+        self.policy_epoch = 0
+        self.swaps: list[PolicySwap] = []
+        self._length_disciplined = policy.discipline == "length-threshold"
+        self._capacities = network.capacities().astype(int).tolist()
         registry = self.telemetry
         self._m_primary = registry.counter("serve_decisions_total", tier="primary")
         self._m_alternate = registry.counter("serve_decisions_total", tier="alternate")
@@ -338,6 +345,8 @@ class ClusterRouter:
         self._m_up = {
             sid: registry.gauge("serve_shard_up", shard=str(sid)) for sid in specs
         }
+        self._m_swaps = registry.counter("serve_cluster_swaps_total")
+        self._m_epoch = registry.gauge("serve_policy_epoch")
 
     # ------------------------------------------------------------- lifecycle
 
@@ -880,6 +889,107 @@ class ClusterRouter:
         return await self._admit(request)
 
     # ------------------------------------------------------------ public API
+
+    async def hot_swap(
+        self,
+        *,
+        alt_thresholds=None,
+        length_thresholds=None,
+        now: float = 0.0,
+    ) -> float:
+        """Install new admission bounds on every shard, atomically per shard.
+
+        Mirrors :meth:`NetworkState.hot_swap`: exactly one of
+        ``alt_thresholds`` (scalar ``threshold`` discipline) or
+        ``length_thresholds`` (per-hop-length tables) must be given and
+        must match the policy's discipline.  The swap is serialized
+        against ordered-mode dispatch by the router lock, so no decision
+        straddles two policy versions; every shard gets one ``swap``
+        command stamped with the new epoch, and the supervisor's respawn
+        specs are updated first — a worker that crashes mid-broadcast is
+        restarted with the *new* bounds, never the boot ones.  Down
+        shards only get the spec update; their restart resync brings
+        them current.  Returns the max absolute per-link threshold move.
+        """
+        if (alt_thresholds is None) == (length_thresholds is None):
+            raise ValueError(
+                "pass exactly one of alt_thresholds or length_thresholds"
+            )
+        capacities = self._capacities
+        num_links = self.network.num_links
+        if alt_thresholds is not None:
+            if self._length_disciplined:
+                raise ValueError(
+                    "cluster policy uses the length-threshold discipline; "
+                    "swap via length_thresholds"
+                )
+            flat = [int(t) for t in alt_thresholds]
+            if len(flat) != num_links:
+                raise ValueError("alt_thresholds must be per-link")
+            tables_full = None
+        else:
+            if not self._length_disciplined:
+                raise ValueError(
+                    "cluster policy uses the scalar threshold discipline; "
+                    "swap via alt_thresholds"
+                )
+            tables_full = {
+                int(h): [int(t) for t in row]
+                for h, row in length_thresholds.items()
+            }
+            for h, row in tables_full.items():
+                if len(row) != num_links:
+                    raise ValueError("length threshold rows must be per-link")
+            # Flat telemetry mirror: the laxest (shortest-hop) table.
+            flat = list(tables_full[min(tables_full)])
+        for vec in [flat] if tables_full is None else tables_full.values():
+            for link, bound in enumerate(vec):
+                if bound < 0 or bound > capacities[link]:
+                    raise ValueError("thresholds must lie in [0, capacity]")
+        async with self._lock:
+            self.policy_epoch += 1
+            epoch = self.policy_epoch
+            max_delta = 0
+            calls = []
+            for sid, links in enumerate(self.partitions):
+                spec = self.supervisor.specs[sid]
+                thr_slice = {l: flat[l] for l in links}
+                tab_slice = (
+                    None if tables_full is None
+                    else {
+                        h: {l: row[l] for l in links}
+                        for h, row in tables_full.items()
+                    }
+                )
+                old_thr = spec["thresholds"]
+                for l in links:
+                    max_delta = max(max_delta, abs(thr_slice[l] - old_thr[l]))
+                old_tabs = spec.get("tables")
+                if tab_slice is not None and old_tabs:
+                    for h, row in tab_slice.items():
+                        prev = old_tabs.get(h, {})
+                        for l, bound in row.items():
+                            max_delta = max(
+                                max_delta, abs(bound - prev.get(l, bound))
+                            )
+                spec["thresholds"] = thr_slice
+                spec["tables"] = tab_slice
+                spec["epoch"] = epoch
+                if sid not in self._down:
+                    calls.append(
+                        self._call(sid, [("swap", epoch, thr_slice, tab_slice)])
+                    )
+            if calls:
+                # A shard failing its swap is marked down by the transport
+                # layer and restarted by the monitor from the spec we just
+                # updated, so it still converges to the new epoch.
+                await asyncio.gather(*calls, return_exceptions=True)
+        self._m_swaps.inc()
+        self._m_epoch.set(epoch)
+        self.swaps.append(
+            PolicySwap(time=now, epoch=epoch, max_delta=float(max_delta))
+        )
+        return float(max_delta)
 
     async def submit(self, request: AdmitRequest | ReleaseRequest) -> Decision:
         """Decide one request under the configured mode's concurrency."""

@@ -46,6 +46,7 @@ __all__ = [
     "Decision",
     "BatchConfig",
     "RequestEngine",
+    "apply_alt_prefix",
     "compile_routes",
     "pick_route",
 ]
@@ -130,6 +131,31 @@ def compile_routes(policy: RoutingPolicy) -> dict:
     return routes
 
 
+def apply_alt_prefix(
+    routes: dict, prefix: dict[tuple[int, int], int]
+) -> dict:
+    """Truncate each pair's alternate list to its controller-chosen prefix.
+
+    Entries absent from ``prefix`` keep their full alternate set; the
+    input dict is not mutated (the engine swaps the whole table so a
+    batch in flight keeps routing against a consistent snapshot).
+    """
+    out = dict(routes)
+    for od, keep in prefix.items():
+        entry = routes.get(od)
+        if entry is None:
+            continue
+        if entry[0] == "single":
+            out[od] = ("single", entry[1], entry[2][:keep])
+        else:
+            out[od] = (
+                "multi",
+                [(primary, alts[:keep]) for primary, alts in entry[1]],
+                entry[2],
+            )
+    return out
+
+
 def pick_route(entry: tuple, uniform: float) -> tuple:
     """Resolve one dispatch entry to ``(primary, alternates)``.
 
@@ -184,10 +210,21 @@ class RequestEngine:
         telemetry: MetricsRegistry | None = None,
         batch: BatchConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
+        control=None,
     ):
         self.state = state if state is not None else NetworkState(network, policy)
         if self.state.policy is not policy:
             raise ValueError("state was built for a different policy")
+        if control is not None:
+            if control.state is not self.state:
+                raise ValueError("control loop was built for a different state")
+            if self.state.adaptation is not None:
+                raise ValueError(
+                    "threshold adaptation and a control loop cannot both "
+                    "drive one engine: two writers would race on the "
+                    "thresholds"
+                )
+        self.control = control
         self.policy = policy
         self.overload = overload
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
@@ -201,6 +238,13 @@ class RequestEngine:
         self.decisions_total = 0
         self._capacities = self.state.capacities.tolist()
         self._routes = self._compile_routes(policy)
+        #: Untruncated route table; controller alternate-prefix proposals
+        #: are always applied against this, never compounded.
+        self._base_routes = self._routes
+        #: Per-pair setup/block counts accumulated for the control loop
+        #: (persist across batches; a batch may end mid-window).
+        self._ctrl_arrivals: dict[tuple[int, int], int] = {}
+        self._ctrl_blocked: dict[tuple[int, int], int] = {}
         # Telemetry series are resolved once; the batch loop folds locals
         # into them at batch end.
         registry = self.telemetry
@@ -225,7 +269,12 @@ class RequestEngine:
         self._m_recomputes = None
         self._m_recompute_delta = None
         self._m_link_thresholds: list = []
-        if self.state.adaptation is not None:
+        # The policy epoch is exported for every engine (0 = the static
+        # policy as compiled) so replay telemetry can align decisions to
+        # the policy version that made them.
+        self._m_epoch = registry.gauge("serve_policy_epoch")
+        self._m_epoch.set(self.state.policy_epoch)
+        if self.state.adaptation is not None or self.control is not None:
             self._m_recomputes = registry.counter(
                 "serve_threshold_recomputes_total"
             )
@@ -271,6 +320,11 @@ class RequestEngine:
         recomputes_before = state.recompute_count if adapt else 0
         setups = [0] * len(occupancy) if adapt else None
         next_refresh = state.next_refresh
+        ctrl = self.control
+        ctrl_arrivals = self._ctrl_arrivals
+        ctrl_blocked = self._ctrl_blocked
+        next_ctrl = ctrl.next_step if ctrl is not None else None
+        epoch_before = state.policy_epoch
         capacities = self._capacities
         held = self.held
         routes = self._routes
@@ -306,6 +360,21 @@ class RequestEngine:
                 state.maybe_refresh(now)
                 occupancy, thresholds, tables = state.arrays()
                 next_refresh = state.next_refresh
+            if next_ctrl is not None and now >= next_ctrl:
+                # Control window boundary: hand the accumulated per-pair
+                # counts to the loop, then re-snapshot whatever it swapped.
+                state.absorb(occupancy)
+                step = ctrl.step(now, ctrl_arrivals, ctrl_blocked)
+                ctrl_arrivals.clear()
+                ctrl_blocked.clear()
+                if step is not None and step.applied:
+                    if step.alt_prefix is not None:
+                        self._routes = apply_alt_prefix(
+                            self._base_routes, step.alt_prefix
+                        )
+                        routes = self._routes
+                    occupancy, thresholds, tables = state.arrays()
+                next_ctrl = ctrl.next_step
             mode = "normal" if control is None else control.classify(now, queue_depth)
             if mode == "shed":
                 append(Decision(request.id, False, None, "none", "shed"))
@@ -331,6 +400,9 @@ class RequestEngine:
                     pick += 1
                 primary, alternates = options[pick]
             width = request.width
+            if ctrl is not None:
+                od = request.od
+                ctrl_arrivals[od] = ctrl_arrivals.get(od, 0) + 1
             if adapt:
                 # The primary set-up packet passes every primary link,
                 # admitted or not — that is what the links measure.
@@ -373,6 +445,9 @@ class RequestEngine:
             if path is None:
                 append(Decision(request.id, False, None, "none", "blocked"))
                 rejected["blocked"] += 1
+                if ctrl is not None:
+                    od = request.od
+                    ctrl_blocked[od] = ctrl_blocked.get(od, 0) + 1
             else:
                 for link in path:
                     occupancy[link] += width
@@ -403,6 +478,13 @@ class RequestEngine:
             fired = state.recompute_count - recomputes_before
             if fired:
                 self._m_recomputes.inc(fired)
+                self._m_recompute_delta.set(state.last_refresh_delta)
+                self._export_thresholds()
+        if ctrl is not None:
+            swapped = state.policy_epoch - epoch_before
+            if swapped:
+                self._m_epoch.set(state.policy_epoch)
+                self._m_recomputes.inc(swapped)
                 self._m_recompute_delta.set(state.last_refresh_delta)
                 self._export_thresholds()
         return decisions

@@ -642,6 +642,7 @@ def measure_regime_shift(
     overload=None,
     bin_width: float = 5.0,
     settle_tolerance: float = 0.0,
+    control=None,
 ) -> dict:
     """Replay a (typically nonstationary) trace and track threshold tracking.
 
@@ -662,18 +663,32 @@ def measure_regime_shift(
     * overall blocking and the decision digest (replays of the same trace
       must produce the same digest — determinism is part of the contract).
 
+    ``control`` is an optional pre-built
+    :class:`repro.control.loop.ControlLoop` (mutually exclusive with
+    ``adaptation``): the replay then runs closed-loop, and the report
+    carries the hot-swap events and final policy epoch so regime-shift
+    plots can align decisions to the policy version that made them.
+
     Everything runs on request (virtual) time, so the whole report is a
-    pure function of ``(trace, policy, adaptation, overload)``.
+    pure function of ``(trace, policy, adaptation, overload, control)``.
     """
     from .state import NetworkState
 
     if bin_width <= 0:
         raise ValueError("bin_width must be positive")
-    state = (
-        None if adaptation is None
-        else NetworkState(network, policy, adaptation)
-    )
-    engine = RequestEngine(network, policy, state=state, overload=overload)
+    if adaptation is not None and control is not None:
+        raise ValueError("pass either adaptation or control, not both")
+    if control is not None:
+        state = control.state
+        engine = RequestEngine(
+            network, policy, state=state, overload=overload, control=control
+        )
+    else:
+        state = (
+            None if adaptation is None
+            else NetworkState(network, policy, adaptation)
+        )
+        engine = RequestEngine(network, policy, state=state, overload=overload)
     report = replay_trace(engine, trace, warmup=warmup)
     state = engine.state
 
@@ -691,7 +706,21 @@ def measure_regime_shift(
         refresh_events.append({"time": float(refresh.time), "max_delta": delta})
         previous_levels = refresh.protection_levels
 
-    if adaptation is None:
+    swap_events = [
+        {"time": float(s.time), "epoch": int(s.epoch),
+         "max_delta": float(s.max_delta)}
+        for s in state.swaps
+    ]
+
+    if control is not None:
+        moving = [
+            e for e in swap_events
+            if e["time"] >= shift_time and e["max_delta"] > settle_tolerance
+        ]
+        time_to_reconverge = (
+            0.0 if not moving else moving[-1]["time"] - shift_time
+        )
+    elif adaptation is None:
         time_to_reconverge = None
     else:
         active = [
@@ -730,6 +759,9 @@ def measure_regime_shift(
         "recompute_count": state.recompute_count,
         "last_refresh_delta": state.last_refresh_delta,
         "refresh_events": refresh_events,
+        "policy_epoch": int(state.policy_epoch),
+        "swap_events": swap_events,
+        "controlled": control is not None,
         "time_to_reconverge": time_to_reconverge,
         "bin_width": float(bin_width),
         "trajectory": trajectory,

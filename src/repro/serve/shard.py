@@ -18,6 +18,9 @@ commands over a :class:`multiprocessing.connection.Connection`:
 * ``release``  — teardown of an established call's circuits;
 * ``sync``     — crash recovery: overwrite occupancy from the router's
   journal replay and drop all pending reservations;
+* ``swap``     — hot policy swap: replace this shard's admission bounds
+  (scalar thresholds and/or per-length tables) and stamp the new policy
+  epoch, leaving occupancy and reservations untouched;
 * ``snapshot`` / ``ping`` — observability and liveness.
 
 The worker is deliberately single-threaded and blocking: commands within
@@ -66,6 +69,7 @@ class ShardWorker:
         self.links = tuple(spec["links"])
         self.capacities = dict(spec["capacities"])
         self.thresholds = dict(spec["thresholds"])
+        self.policy_epoch = int(spec.get("epoch", 0))
         tables = spec.get("tables")
         self.tables = None if tables is None else {
             int(h): dict(row) for h, row in tables.items()
@@ -93,6 +97,7 @@ class ShardWorker:
             "shard_releases": 0,
             "shard_hold_expirations": 0,
             "shard_expired_commits": 0,
+            "shard_swaps": 0,
         }
 
     # -------------------------------------------------------------- helpers
@@ -199,6 +204,21 @@ class ShardWorker:
                 self.occupancy[link] -= width
             self.tallies["shard_releases"] += 1
             return self._remember(rid, 1)
+        if op == "swap":
+            # Hot policy swap: install new admission bounds for this
+            # shard's links, atomically between commands.  Reservations
+            # already booked keep their circuits — only future admission
+            # tests see the new bounds — and the epoch stamp makes every
+            # later snapshot attributable to the version in force.
+            __, epoch, thresholds, tables = command
+            self.thresholds = {int(l): int(t) for l, t in thresholds.items()}
+            self.tables = None if tables is None else {
+                int(h): {int(l): int(t) for l, t in row.items()}
+                for h, row in tables.items()
+            }
+            self.policy_epoch = int(epoch)
+            self.tallies["shard_swaps"] += 1
+            return 1
         if op == "sync":
             __, occupancy = command
             self.occupancy = {link: 0 for link in self.links}
@@ -210,6 +230,7 @@ class ShardWorker:
         if op == "snapshot":
             return {
                 "shard_id": self.shard_id,
+                "epoch": self.policy_epoch,
                 "occupancy": dict(self.occupancy),
                 "pending": len(self.pending),
                 "ops": self.ops,

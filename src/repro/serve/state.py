@@ -29,6 +29,7 @@ from ..topology.graph import Network
 __all__ = [
     "AdaptationConfig",
     "NetworkState",
+    "PolicySwap",
     "ThresholdRefresh",
     "partition_links",
 ]
@@ -89,6 +90,15 @@ class ThresholdRefresh:
     protection_levels: np.ndarray
 
 
+@dataclass(frozen=True)
+class PolicySwap:
+    """One hot swap: the epoch it installed and how far thresholds moved."""
+
+    time: float
+    epoch: int
+    max_delta: float
+
+
 class NetworkState:
     """Occupancies + thresholds for one network under one compiled policy.
 
@@ -144,6 +154,12 @@ class NetworkState:
             ].copy()
         self.adaptation = adaptation
         self.refreshes: list[ThresholdRefresh] = []
+        #: Monotone policy version: 0 at construction, bumped by every
+        #: :meth:`hot_swap`.  Decisions are attributable to the epoch in
+        #: force when they were made; the cluster stamps it into every
+        #: shard so in-flight reservations commit against one version.
+        self.policy_epoch = 0
+        self.swaps: list[PolicySwap] = []
         #: Recomputes fired by :meth:`maybe_refresh` (the initial level
         #: application in the constructor is not counted — it is seeding,
         #: not adaptation).  Telemetry exports this as a counter.
@@ -201,6 +217,7 @@ class NetworkState:
         links = tuple(int(link) for link in links)
         return {
             "shard_id": int(shard_id),
+            "epoch": int(self.policy_epoch),
             "links": links,
             "capacities": {l: int(self.capacities[l]) for l in links},
             "thresholds": {l: int(self.alt_thresholds[l]) for l in links},
@@ -212,6 +229,84 @@ class NetworkState:
                 }
             ),
         }
+
+    # -------------------------------------------------------------- hot swap
+
+    def hot_swap(
+        self,
+        *,
+        alt_thresholds: np.ndarray | Sequence[int] | None = None,
+        length_thresholds: dict[int, np.ndarray] | None = None,
+        now: float = 0.0,
+    ) -> float:
+        """Atomically install new alternate-admission thresholds.
+
+        Exactly one of ``alt_thresholds`` (scalar ``threshold``
+        discipline) or ``length_thresholds`` (per-hop-length tables,
+        ``length-threshold`` discipline) must be given and must match the
+        discipline this state was built with.  The swap bumps
+        :attr:`policy_epoch`, records a :class:`PolicySwap`, and returns
+        the max absolute per-link threshold move — in-flight occupancy is
+        untouched, so decisions made after the swap see the new bounds
+        against the same live circuits.
+        """
+        if (alt_thresholds is None) == (length_thresholds is None):
+            raise ValueError(
+                "pass exactly one of alt_thresholds or length_thresholds"
+            )
+        if alt_thresholds is not None:
+            if self.length_thresholds is not None:
+                raise ValueError(
+                    "state uses the length-threshold discipline; swap via "
+                    "length_thresholds"
+                )
+            incoming = np.asarray(alt_thresholds, dtype=np.int64)
+            if incoming.shape != self.alt_thresholds.shape:
+                raise ValueError("alt_thresholds must be per-link")
+            if (incoming < 0).any() or (incoming > self.capacities).any():
+                raise ValueError("thresholds must lie in [0, capacity]")
+            max_delta = float(
+                np.abs(incoming - self.alt_thresholds).max(initial=0)
+            )
+            self.alt_thresholds[:] = incoming
+        else:
+            if self.length_thresholds is None:
+                raise ValueError(
+                    "state uses the scalar threshold discipline; swap via "
+                    "alt_thresholds"
+                )
+            unknown = set(length_thresholds) - set(self.length_thresholds)
+            if unknown:
+                raise ValueError(
+                    f"unknown hop lengths in swap: {sorted(unknown)}"
+                )
+            max_delta = 0.0
+            staged = {}
+            for h, row in length_thresholds.items():
+                incoming = np.asarray(row, dtype=np.int64)
+                if incoming.shape != self.length_thresholds[h].shape:
+                    raise ValueError("length threshold rows must be per-link")
+                if (incoming < 0).any() or (incoming > self.capacities).any():
+                    raise ValueError("thresholds must lie in [0, capacity]")
+                staged[h] = incoming
+                max_delta = max(
+                    max_delta,
+                    float(
+                        np.abs(incoming - self.length_thresholds[h]).max(initial=0)
+                    ),
+                )
+            for h, incoming in staged.items():
+                self.length_thresholds[h][:] = incoming
+            # Keep the flat telemetry mirror on the laxest table.
+            self.alt_thresholds[:] = self.length_thresholds[
+                min(self.length_thresholds)
+            ]
+        self.policy_epoch += 1
+        self.last_refresh_delta = max_delta
+        self.swaps.append(
+            PolicySwap(time=now, epoch=self.policy_epoch, max_delta=max_delta)
+        )
+        return max_delta
 
     # ---------------------------------------------------- batch-loop bridge
 

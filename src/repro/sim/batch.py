@@ -57,32 +57,58 @@ __all__ = [
 ]
 
 #: Routing disciplines the lockstep kernel can express.
-BATCH_DISCIPLINES = frozenset({"threshold", "dar", "power-of-d"})
+BATCH_DISCIPLINES = frozenset({"threshold", "length-threshold", "dar", "power-of-d"})
 
 _HUGE = np.int32(2**30)  # sentinel capacity: never blocks, never overflows
 _CHUNK = 2048  # epochs whose primary tables are gathered per chunk
 
 
 def batch_ineligibility(
-    policy: RoutingPolicy, traces: Sequence[ArrivalTrace]
+    policy: RoutingPolicy,
+    traces: Sequence[ArrivalTrace],
+    threshold_schedule: Sequence[tuple] | None = None,
 ) -> str | None:
     """Why the batch kernel cannot run ``(policy, traces)``, or None if it can.
 
     The scheduler layers use this to decide between one kernel invocation and
     the per-seed fallback; :class:`BatchSimulator` raises it as the error
     message when constructed with an inexpressible configuration.
+
+    ``threshold_schedule`` is the optional list of mid-run threshold
+    updates (see :class:`BatchSimulator`); piecewise-constant thresholds
+    are expressible only for the deterministic-alternate disciplines.
     """
     if not traces:
         return "no traces to simulate"
     if policy.discipline not in BATCH_DISCIPLINES:
         return f"discipline {policy.discipline!r} has no batch kernel"
-    if policy.alt_thresholds is None:
+    if policy.discipline == "length-threshold":
+        if getattr(policy, "length_thresholds", None) is None:
+            return f"policy {policy.name!r} lacks per-length thresholds"
+    elif policy.alt_thresholds is None:
         return f"policy {policy.name!r} lacks alternate thresholds"
     if policy.discipline in ("dar", "power-of-d"):
         if not hasattr(policy, "route_draws"):
             return f"policy {policy.name!r} lacks a route_draws stream"
         if any(len(options) > 1 for options in policy.choices.values()):
             return "random-alternate policies must be single-choice per pair"
+        if threshold_schedule:
+            return (
+                "mid-run threshold updates require the 'threshold' or "
+                "'length-threshold' discipline"
+            )
+    if threshold_schedule:
+        last = 0.0
+        for item in threshold_schedule:
+            if len(item) != 2:
+                return "threshold_schedule entries must be (time, thresholds)"
+            when = float(item[0])
+            if not when > last:
+                return (
+                    "threshold_schedule times must be positive and strictly "
+                    "increasing"
+                )
+            last = when
     od_pairs = traces[0].od_pairs
     for trace in traces:
         if trace.bandwidths is not None:
@@ -109,9 +135,10 @@ class BatchSimulator:
         policy: RoutingPolicy,
         traces: Sequence[ArrivalTrace],
         warmup: float = 10.0,
+        threshold_schedule: Sequence[tuple] | None = None,
     ):
         traces = list(traces)
-        reason = batch_ineligibility(policy, traces)
+        reason = batch_ineligibility(policy, traces, threshold_schedule)
         if reason is not None:
             raise ValueError(f"batch kernel cannot run this configuration: {reason}")
         for trace in traces:
@@ -126,6 +153,11 @@ class BatchSimulator:
         self.policy = policy
         self.traces = traces
         self.warmup = float(warmup)
+        self.threshold_schedule = (
+            [(float(t), thr) for t, thr in threshold_schedule]
+            if threshold_schedule
+            else None
+        )
         self._compile_policy()
         self._pack_traces()
 
@@ -136,7 +168,6 @@ class BatchSimulator:
         policy = self.policy
         num_links = self.network.num_links
         capacities = self.network.capacities().astype(np.int64)
-        thresholds = np.asarray(policy.alt_thresholds, dtype=np.int64)
         od_pairs = self.traces[0].od_pairs
 
         paths: list[tuple[int, ...]] = []
@@ -189,7 +220,6 @@ class BatchSimulator:
             else:
                 path_links[pid, 0] = full
         cap_row = np.concatenate([capacities, [int(_HUGE), 0]]).astype(np.int32)
-        thr_row = np.concatenate([thresholds, [int(_HUGE), 0]]).astype(np.int32)
 
         alt_max = max((len(alts) for alts in entry_alts), default=1) or 1
         entry_alt_pids = np.full(
@@ -199,9 +229,31 @@ class BatchSimulator:
             if alts:
                 entry_alt_pids[entry, : len(alts)] = alts
 
+        # Per-path alternate thresholds, one (paths, width) table per
+        # schedule segment.  Segment 0 is the policy's own thresholds;
+        # each ``threshold_schedule`` entry appends one more.  For the
+        # ``length-threshold`` discipline a path's row comes from the
+        # table keyed by its own hop count (primary-only lengths never
+        # face an alternate test, so they fall back to plain capacity).
+        if policy.discipline == "length-threshold":
+            base_spec: object = {
+                int(h): np.asarray(row, dtype=np.int64)
+                for h, row in policy.length_thresholds.items()
+            }
+        else:
+            base_spec = np.asarray(policy.alt_thresholds, dtype=np.int64)
+        specs = [base_spec]
+        if self.threshold_schedule:
+            specs.extend(spec for __, spec in self.threshold_schedule)
+        path_lengths = np.array([len(p) for p in paths] + [0], dtype=np.int64)
+        stack = np.empty((len(specs), num_paths + 1, alt_width), dtype=np.int32)
+        for si, spec in enumerate(specs):
+            stack[si] = self._segment_thresholds(
+                spec, path_links, path_lengths, capacities
+            )
         self._free_link = free
         self._path_links = path_links
-        self._path_thr = thr_row[path_links]
+        self._path_thr = stack
         self._prim_links = path_links[:, :prim_width].copy()
         self._prim_cap = cap_row[self._prim_links]
         self._entry_primary = np.asarray(entry_primary, dtype=np.int32)
@@ -212,6 +264,46 @@ class BatchSimulator:
             [len(alts) for alts in entry_alts], dtype=np.int64
         )
         self._num_pairs = len(od_pairs)
+        self._switch_times = (
+            np.array([t for t, __ in self.threshold_schedule], dtype=float)
+            if self.threshold_schedule
+            else None
+        )
+
+    def _segment_thresholds(
+        self,
+        spec,
+        path_links: np.ndarray,
+        path_lengths: np.ndarray,
+        capacities: np.ndarray,
+    ) -> np.ndarray:
+        """One (paths+1, width) per-path threshold table for ``spec``.
+
+        ``spec`` is either a flat per-link vector or, for the
+        ``length-threshold`` discipline, a ``{hop_length: per-link}``
+        mapping; hop lengths absent from the mapping fall back to plain
+        capacity (only primary-only lengths, which never face the
+        alternate test).  Sentinel columns keep their FREE/FULL meaning.
+        """
+        num_links = capacities.size
+
+        def row_of(vec) -> np.ndarray:
+            flat = np.asarray(vec, dtype=np.int64)
+            if flat.shape != (num_links,):
+                raise ValueError(
+                    f"threshold vectors must have shape ({num_links},), "
+                    f"got {flat.shape}"
+                )
+            return np.concatenate([flat, [int(_HUGE), 0]]).astype(np.int32)
+
+        if isinstance(spec, dict):
+            out = row_of(capacities)[path_links]
+            for length, vec in spec.items():
+                mask = path_lengths == int(length)
+                if mask.any():
+                    out[mask] = row_of(vec)[path_links[mask]]
+            return out
+        return row_of(spec)[path_links]
 
     # ---------------------------------------------------------------- pack
 
@@ -269,6 +361,21 @@ class BatchSimulator:
         self._call_entry = call_entry
         self._num_epochs = num_epochs
 
+        # Piecewise-constant thresholds: each arrival's schedule segment,
+        # epoch-major like everything else the kernel gathers.  ``side=
+        # "right"`` makes an arrival exactly at a switch time see the new
+        # thresholds, matching the serving engine's ``now >= t`` swap.
+        if self._switch_times is not None:
+            seg_stage = np.zeros((num_seeds, num_epochs), dtype=np.int32)
+            for s, trace in enumerate(traces):
+                n = trace.num_calls
+                seg_stage[s, :n] = np.searchsorted(
+                    self._switch_times, trace.times, side="right"
+                )
+            self._seg = np.ascontiguousarray(seg_stage.T)
+        else:
+            self._seg = None
+
         discipline = self.policy.discipline
         if discipline == "dar":
             stage[:] = 0
@@ -304,7 +411,9 @@ class BatchSimulator:
 
         discipline = self.policy.discipline
         path_links = self._path_links
-        path_thr = self._path_thr
+        path_thr = self._path_thr  # (segments, paths + 1, width)
+        path_thr0 = path_thr[0]
+        seg = self._seg
         prim_links = self._prim_links
         prim_cap = self._prim_cap
         entry_primary = self._entry_primary
@@ -346,10 +455,14 @@ class BatchSimulator:
                 failed = np.flatnonzero(~ok)
                 ent_f = ent_c[kk, failed]
                 off_f = off_col[failed]
-                if discipline == "threshold":
+                if discipline in ("threshold", "length-threshold"):
                     alts = entry_alts[ent_f]
                     cand_rows = path_links[alts] + off_f[:, None, None]
-                    feas = (occ[cand_rows] < path_thr[alts]).all(axis=2)
+                    if seg is None:
+                        thr = path_thr0[alts]
+                    else:
+                        thr = path_thr[seg[k, failed][:, None], alts]
+                    feas = (occ[cand_rows] < thr).all(axis=2)
                     first = feas.argmax(axis=1)
                     picked = np.arange(failed.size), first
                     apid = np.where(feas[picked], alts[picked], np.int32(-1))
@@ -358,7 +471,7 @@ class BatchSimulator:
                     idx = sticky[failed, ent_f]
                     apid = entry_alts[ent_f, idx]
                     alt_rows = path_links[apid] + off_f[:, None]
-                    feas = (occ[alt_rows] < path_thr[apid]).all(axis=1)
+                    feas = (occ[alt_rows] < path_thr0[apid]).all(axis=1)
                     bad = np.flatnonzero(~feas)
                     if bad.size:
                         sticky[failed[bad], ent_f[bad]] = resample[k, failed[bad]]
@@ -368,7 +481,7 @@ class BatchSimulator:
                     picks = candidates[k, failed]
                     apidc = entry_alts[ent_f[:, None], picks]
                     cand_rows = path_links[apidc] + off_f[:, None, None]
-                    score = (path_thr[apidc] - occ[cand_rows]).min(axis=2)
+                    score = (path_thr0[apidc] - occ[cand_rows]).min(axis=2)
                     best = np.arange(failed.size), score.argmax(axis=1)
                     apid = np.where(score[best] >= 1, apidc[best], np.int32(-1))
                     alt_rows = path_links[apid] + off_f[:, None]
@@ -427,10 +540,13 @@ def simulate_batch(
     policy: RoutingPolicy,
     traces: Sequence[ArrivalTrace],
     warmup: float = 10.0,
+    threshold_schedule: Sequence[tuple] | None = None,
 ) -> list[SimulationResult]:
     """Convenience wrapper: one :class:`BatchSimulator` pass over ``traces``.
 
     Raises :class:`ValueError` (naming the :func:`batch_ineligibility` reason)
     when the configuration needs a per-seed loop instead.
     """
-    return BatchSimulator(network, policy, traces, warmup).run()
+    return BatchSimulator(
+        network, policy, traces, warmup, threshold_schedule=threshold_schedule
+    ).run()
